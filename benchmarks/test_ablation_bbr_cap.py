@@ -1,0 +1,47 @@
+"""Ablation: BBR's 2xBDP inflight cap and bottleneck queueing.
+
+The paper explains Table 4's halved 7x-BDP RTTs (BBR vs Cubic
+competitor) by BBR capping its congestion window at twice the BDP.
+Removing the cap (cwnd gain 10) should push the bottleneck queue -- and
+hence the game's RTT -- back up toward Cubic-like levels.
+"""
+
+import pytest
+
+from benchmarks.conftest import TIMELINE, write_artifact
+from repro.analysis.render import render_table
+from repro.testbed.tc import RouterConfig
+from repro.testbed.topology import GameStreamingTestbed
+
+
+def _run(cca, seed=17):
+    tb = GameStreamingTestbed(
+        "geforce", RouterConfig(25e6, 7.0), seed=seed, competing_cca=cca
+    )
+    tb.start_game()
+    tb.schedule_iperf(TIMELINE.iperf_start, TIMELINE.iperf_stop)
+    tb.run(until=TIMELINE.iperf_stop)
+    lo, hi = TIMELINE.adjusted_window
+    return float(tb.prober.rtts_in_window(lo, hi).mean() * 1e3)
+
+
+@pytest.fixture(scope="module")
+def rtts():
+    return {cca: _run(cca) for cca in ("bbr", "bbr_nocap", "cubic")}
+
+
+def test_bbr_cap_ablation(benchmark, rtts):
+    cells = benchmark(lambda: {("RTT", cca): (v, 0.0) for cca, v in rtts.items()})
+    text = render_table(
+        "Ablation: game RTT (ms) at 7x BDP vs competitor variant "
+        "(25 Mb/s, GeForce)",
+        ["RTT"],
+        ["bbr", "bbr_nocap", "cubic"],
+        cells,
+    )
+    write_artifact("ablation_bbr_cap.txt", text)
+
+    # The stock cap keeps queueing well below Cubic's.
+    assert rtts["bbr"] < 0.85 * rtts["cubic"]
+    # Removing the cap erases much of that advantage.
+    assert rtts["bbr_nocap"] > rtts["bbr"] * 1.15

@@ -1,0 +1,73 @@
+"""Ablation: multiple competing flows and Cubic/BBR mixtures.
+
+The paper's congestion scenario is a single bulk flow; its future work
+asks about multiple flows and mixtures.  Here each game system faces
+(a) two Cubic flows and (b) a Cubic + BBR mixture, at 25 Mb/s, 2x BDP.
+Expected shapes: the game's share shrinks as competitors are added, and
+in the mixed case BBR out-competes Cubic (Claypool et al. 2019,
+Miyazawa et al. 2018).
+"""
+
+import pytest
+
+from benchmarks.conftest import TIMELINE, write_artifact
+from repro.analysis.render import render_table
+from repro.experiments.conditions import SYSTEM_NAMES
+from repro.testbed.tc import RouterConfig
+from repro.testbed.topology import GameStreamingTestbed
+
+
+def _run(system, ccas, seed=11):
+    tb = GameStreamingTestbed(
+        system, RouterConfig(25e6, 2.0), seed=seed, competing_cca=ccas
+    )
+    tb.start_game()
+    tb.schedule_iperf(TIMELINE.iperf_start, TIMELINE.iperf_stop)
+    tb.run(until=TIMELINE.iperf_stop)
+    lo, hi = TIMELINE.adjusted_window
+    flows = [tb.game_flow, "iperf"] + [f"iperf{i + 2}" for i in range(len(ccas) - 1)]
+    return {flow: tb.capture.throughput_bps(flow, lo, hi) / 1e6 for flow in flows}
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for system in SYSTEM_NAMES:
+        out[(system, "1 cubic")] = _run(system, ["cubic"])
+        out[(system, "2 cubic")] = _run(system, ["cubic", "cubic"])
+        out[(system, "cubic+bbr")] = _run(system, ["cubic", "bbr"])
+    return out
+
+
+def test_multiflow_ablation(benchmark, results):
+    def summarise():
+        cells = {}
+        for (system, scenario), shares in results.items():
+            game = shares[next(iter(shares))]
+            cells[(system, scenario)] = (game, 0.0)
+        return cells
+
+    cells = benchmark(summarise)
+    text = render_table(
+        "Ablation: game bitrate (Mb/s) vs number/mixture of competitors "
+        "(25 Mb/s, 2x BDP)",
+        list(SYSTEM_NAMES),
+        ["1 cubic", "2 cubic", "cubic+bbr"],
+        cells,
+    )
+    write_artifact("ablation_multiflow.txt", text)
+
+    for system in SYSTEM_NAMES:
+        one = results[(system, "1 cubic")][system]
+        two = results[(system, "2 cubic")][system]
+        # More competitors, less share (allow measurement slack).
+        assert two < one * 1.1, system
+
+    # In the mixed case BBR gets at least as much as Cubic for most
+    # systems (inter-protocol imbalance, related work).
+    bbr_wins = sum(
+        results[(system, "cubic+bbr")]["iperf2"]
+        >= results[(system, "cubic+bbr")]["iperf"]
+        for system in SYSTEM_NAMES
+    )
+    assert bbr_wins >= 2

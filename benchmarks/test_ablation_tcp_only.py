@@ -1,0 +1,89 @@
+"""Sanity ablation: TCP-versus-TCP sharing at the paper's bottleneck.
+
+Validates the substrate against the related work the paper builds on
+(Claypool et al. 2019; Miyazawa et al. 2018): intra-protocol pairs
+share a 2x-BDP bottleneck roughly fairly, while the Cubic/BBR pair is
+imbalanced.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.render import render_table
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.netem import NetemDelay
+from repro.sim.node import Demux, Tap
+from repro.sim.queues import DropTailQueue
+from repro.tcp import TcpSender, make_cca
+from repro.tcp.receiver import TcpReceiver
+
+_RATE = 25e6
+_RTT = 0.0165
+_SECONDS = 40.0
+
+
+def _two_flows(cca_a: str, cca_b: str) -> tuple[float, float]:
+    sim = Simulator()
+    bdp = _RATE * _RTT / 8.0
+    queue = DropTailQueue(sim, limit_bytes=int(2 * bdp))
+    received = {"a": 0, "b": 0}
+
+    demux = Demux()
+    link = Link(
+        sim, rate_bps=_RATE, delay=_RTT / 2,
+        sink=Tap(demux, lambda pkt: received.__setitem__(
+            pkt.flow, received[pkt.flow] + pkt.size)),
+        queue=queue,
+    )
+    senders = {}
+
+    class _Back:
+        def __init__(self, name):
+            self.name = name
+
+        def receive(self, pkt):
+            senders[self.name].receive(pkt)
+
+    for name, cca in (("a", cca_a), ("b", cca_b)):
+        receiver = TcpReceiver(sim, name, NetemDelay(sim, _RTT / 2, _Back(name)))
+        demux.route(name, receiver)
+        senders[name] = TcpSender(sim, name, path=link, cca=make_cca(cca))
+    senders["a"].start()
+    senders["b"].start()
+    sim.run(until=_SECONDS)
+    return received["a"] * 8 / _SECONDS / 1e6, received["b"] * 8 / _SECONDS / 1e6
+
+
+@pytest.fixture(scope="module")
+def shares():
+    return {
+        pair: _two_flows(*pair)
+        for pair in (("cubic", "cubic"), ("bbr", "bbr"), ("cubic", "bbr"))
+    }
+
+
+def test_tcp_only_ablation(benchmark, shares):
+    cells = benchmark(
+        lambda: {
+            ("share", f"{a}/{b}"): (sa / (sa + sb), 0.0)
+            for (a, b), (sa, sb) in shares.items()
+        }
+    )
+    text = render_table(
+        "Sanity: first flow's share of a 25 Mb/s, 2x-BDP bottleneck",
+        ["share"],
+        [f"{a}/{b}" for (a, b) in shares],
+        cells,
+        digits=2,
+    )
+    write_artifact("ablation_tcp_only.txt", text)
+
+    for pair in (("cubic", "cubic"), ("bbr", "bbr")):
+        a, b = shares[pair]
+        assert a + b > 0.8 * _RATE / 1e6
+        assert 0.3 < a / (a + b) < 0.7, pair  # intra-protocol ~fair
+
+    a, b = shares[("cubic", "bbr")]
+    assert a + b > 0.8 * _RATE / 1e6  # link still saturated
+    assert a > 1 and b > 1  # neither starves entirely

@@ -1,0 +1,63 @@
+"""Ablation: a delay-based TCP competitor (Vegas).
+
+Turkovic et al. (related work) compare loss-based, delay-based, and
+hybrid congestion control.  Vegas backs off at the first sign of
+queueing, so every game system should keep far more of the link against
+Vegas than against Cubic -- the inverse of the BBR situation.
+"""
+
+import pytest
+
+from benchmarks.conftest import TIMELINE, write_artifact
+from repro.analysis.render import render_table
+from repro.experiments.conditions import SYSTEM_NAMES
+from repro.testbed.tc import RouterConfig
+from repro.testbed.topology import GameStreamingTestbed
+
+
+def _run(system, cca, seed=13):
+    tb = GameStreamingTestbed(
+        system, RouterConfig(25e6, 2.0), seed=seed, competing_cca=cca
+    )
+    tb.start_game()
+    tb.schedule_iperf(TIMELINE.iperf_start, TIMELINE.iperf_stop)
+    tb.run(until=TIMELINE.iperf_stop)
+    lo, hi = TIMELINE.adjusted_window
+    return (
+        tb.capture.throughput_bps(tb.game_flow, lo, hi) / 1e6,
+        tb.capture.throughput_bps("iperf", lo, hi) / 1e6,
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        (system, cca): _run(system, cca)
+        for system in SYSTEM_NAMES
+        for cca in ("vegas", "cubic")
+    }
+
+
+def test_vegas_ablation(benchmark, results):
+    def summarise():
+        return {
+            (system, cca): (game - tcp) / 25.0
+            for (system, cca), (game, tcp) in results.items()
+        }
+
+    ratios = benchmark(summarise)
+    cells = {(s, c): (v, 0.0) for (s, c), v in ratios.items()}
+    text = render_table(
+        "Ablation: fairness ratio vs TCP Vegas / TCP Cubic (25 Mb/s, 2x BDP)",
+        list(SYSTEM_NAMES),
+        ["vegas", "cubic"],
+        cells,
+        digits=2,
+    )
+    write_artifact("ablation_vegas.txt", text)
+
+    for system in SYSTEM_NAMES:
+        # Vegas yields: every system does better against it than Cubic.
+        assert ratios[(system, "vegas")] > ratios[(system, "cubic")], system
+        # And the game clearly dominates a Vegas competitor.
+        assert ratios[(system, "vegas")] > 0.1, system

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scenario: can smarter queues fix cloud gaming under congestion?
+
+The paper's future-work question: its router used a plain drop-tail
+queue -- what would Active Queue Management change?  This example runs
+the worst case for latency (7x-BDP bufferbloat + a Cubic download)
+under drop-tail, CoDel, and FQ-CoDel, showing how AQM removes the
+bufferbloat and how per-flow queuing additionally protects the game's
+throughput.
+
+Run:  python examples/aqm_rescue.py [--system geforce]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import QUICK, RouterConfig
+from repro.analysis.render import render_table
+from repro.testbed.topology import GameStreamingTestbed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--system", default="geforce",
+                        choices=["stadia", "geforce", "luna"])
+    parser.add_argument("--seed", type=int, default=4)
+    args = parser.parse_args()
+
+    timeline = QUICK
+    rows, cells = [], {}
+    for qdisc in ("droptail", "codel", "fq_codel"):
+        tb = GameStreamingTestbed(
+            args.system,
+            RouterConfig(25e6, 7.0),
+            seed=args.seed,
+            competing_cca="cubic",
+            qdisc=qdisc,
+        )
+        print(f"running {args.system} vs cubic @ 7x BDP with {qdisc}...")
+        tb.start_game()
+        tb.schedule_iperf(timeline.iperf_start, timeline.iperf_stop)
+        tb.run(until=timeline.iperf_stop)
+
+        lo, hi = timeline.adjusted_window
+        rtts = tb.prober.rtts_in_window(lo, hi)
+        rows.append(qdisc)
+        cells[(qdisc, "game Mb/s")] = (
+            tb.capture.throughput_bps(tb.game_flow, lo, hi) / 1e6, 0.0)
+        cells[(qdisc, "iperf Mb/s")] = (
+            tb.capture.throughput_bps("iperf", lo, hi) / 1e6, 0.0)
+        cells[(qdisc, "RTT ms")] = (float(np.mean(rtts)) * 1e3,
+                                    float(np.std(rtts)) * 1e3)
+        cells[(qdisc, "f/s")] = (tb.client.displayed_fps(lo, hi), 0.0)
+
+    print()
+    print(render_table(
+        f"AQM rescue: {args.system} vs Cubic at a bloated (7x BDP) 25 Mb/s "
+        "bottleneck",
+        rows,
+        ["game Mb/s", "iperf Mb/s", "RTT ms", "f/s"],
+        cells,
+    ))
+    print()
+    print("droptail reproduces the paper's ~110 ms bufferbloat; CoDel keeps")
+    print("the standing queue near its 5 ms target; FQ-CoDel additionally")
+    print("isolates the game's packets from the bulk download's queue.")
+
+
+if __name__ == "__main__":
+    main()

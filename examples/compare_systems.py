@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Scenario: which streaming service handles congestion best?
+
+Runs all three systems through the same condition (same seed -- the
+analogue of the paper's scripted identical gameplay) against both TCP
+Cubic and TCP BBR, then prints a side-by-side comparison of share,
+latency, frame rate, and recovery behaviour.
+
+Run:  python examples/compare_systems.py [--capacity 35] [--queue 0.5]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import QUICK, RunConfig, run_single
+from repro.analysis.fairness import fairness_ratio
+from repro.analysis.render import render_table
+from repro.analysis.adaptiveness import recovery_time, response_time
+from repro.analysis.stats import mean_std
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--capacity", type=float, default=25.0, help="Mb/s")
+    parser.add_argument("--queue", type=float, default=2.0, help="x BDP")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    timeline = QUICK
+    systems = ("stadia", "geforce", "luna")
+    rows, cells = [], {}
+    for cca in ("cubic", "bbr"):
+        for system in systems:
+            config = RunConfig(
+                system=system,
+                capacity_bps=args.capacity * 1e6,
+                queue_mult=args.queue,
+                cca=cca,
+                seed=args.seed,
+                timeline=timeline,
+            )
+            print(f"running {config.label}...")
+            r = run_single(config)
+
+            adj_mask = (r.times >= timeline.adjusted_window[0]) & (
+                r.times < timeline.adjusted_window[1])
+            base_mask = (r.times >= timeline.baseline_window[0]) & (
+                r.times < timeline.baseline_window[1])
+            adj_mean, adj_std = mean_std(r.game_bps[adj_mask])
+            base_mean, base_std = mean_std(r.game_bps[base_mask])
+            response = response_time(r.times, r.game_bps, timeline.iperf_start,
+                                     timeline.iperf_stop, adj_mean, adj_std)
+            recovery = recovery_time(r.times, r.game_bps, timeline.iperf_stop,
+                                     timeline.end, base_mean, base_std)
+
+            row = f"{system} vs {cca}"
+            rows.append(row)
+            cells[(row, "fairness")] = (
+                fairness_ratio(r.fairness_game_bps, r.fairness_iperf_bps,
+                               r.capacity_bps), 0.0)
+            rtts = r.rtts_in(*timeline.contention_window)
+            cells[(row, "RTT ms")] = (float(np.mean(rtts)) * 1e3, 0.0)
+            cells[(row, "f/s")] = (r.displayed_fps_contention, 0.0)
+            cells[(row, "resp s")] = (response, 0.0)
+            cells[(row, "recov s")] = (recovery, 0.0)
+
+    print()
+    print(render_table(
+        f"System comparison @ {args.capacity:g} Mb/s, {args.queue:g}x BDP "
+        "(identical scripted gameplay)",
+        rows,
+        ["fairness", "RTT ms", "f/s", "resp s", "recov s"],
+        cells,
+    ))
+    print()
+    print("fairness: (game - TCP) / capacity; 0 is an equal split.")
+    print("resp/recov: seconds to adapt after the download starts / stops.")
+
+
+if __name__ == "__main__":
+    main()

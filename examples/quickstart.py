@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: one game-streaming run against a competing TCP flow.
+
+Reproduces a single cell of the paper's experiment grid -- Google
+Stadia at a 25 Mb/s bottleneck with a 2x-BDP queue, with a TCP Cubic
+bulk download occupying the middle third of the trace -- and prints the
+measurements the paper reports for it.
+
+Run:  python examples/quickstart.py [--cca bbr] [--system luna]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import QUICK, RunConfig, run_single
+from repro.analysis.fairness import fairness_ratio
+from repro.analysis.render import render_series
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--system", default="stadia",
+                        choices=["stadia", "geforce", "luna"])
+    parser.add_argument("--cca", default="cubic", choices=["cubic", "bbr"])
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    timeline = QUICK
+    config = RunConfig(
+        system=args.system,
+        capacity_bps=25e6,
+        queue_mult=2.0,
+        cca=args.cca,
+        seed=args.seed,
+        timeline=timeline,
+    )
+    print(f"running {config.label} "
+          f"({timeline.end:.0f}s of simulated time)...")
+    result = run_single(config)
+
+    print()
+    print(render_series(
+        f"{args.system} vs TCP {args.cca} @ 25 Mb/s, 2x BDP "
+        f"(iperf {timeline.iperf_start:.0f}-{timeline.iperf_stop:.0f}s)",
+        result.times,
+        {"game": result.game_bps, "iperf": result.iperf_bps},
+        vmax=25e6,
+    ))
+    print()
+
+    ratio = fairness_ratio(
+        result.fairness_game_bps, result.fairness_iperf_bps, result.capacity_bps
+    )
+    rtts = result.rtts_in(*timeline.contention_window)
+    print(f"baseline bitrate      : {result.baseline_bps / 1e6:6.2f} Mb/s")
+    print(f"game share (contended): {result.fairness_game_bps / 1e6:6.2f} Mb/s")
+    print(f"TCP share (contended) : {result.fairness_iperf_bps / 1e6:6.2f} Mb/s")
+    print(f"fairness ratio        : {ratio:+.2f}   "
+          "(0 = equal; >0 game wins; <0 TCP wins)")
+    print(f"RTT under contention  : {np.mean(rtts) * 1e3:6.1f} ms")
+    print(f"media loss rate       : {result.game_loss_rate:8.4f}")
+    print(f"displayed frame rate  : {result.displayed_fps_contention:6.1f} f/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro: reproduction of "Measurement of Cloud-based Game Streaming
+System Response to Competing TCP Cubic or TCP BBR Flows" (Xu &
+Claypool, IMC 2022) as a packet-level simulation study.
+
+The commercial services the paper measures (Google Stadia, NVidia
+GeForce Now, Amazon Luna) and its physical testbed are rebuilt from
+scratch:
+
+- :mod:`repro.sim` -- discrete-event network simulator (links, drop-tail
+  queues, token-bucket shaping, netem delay, CoDel/FQ-CoDel AQM).
+- :mod:`repro.tcp` -- TCP senders with Cubic (RFC 8312), BBR v1,
+  NewReno, and Vegas congestion control.
+- :mod:`repro.streaming` -- a GCC-family adaptive game-streaming stack
+  with calibrated per-system profiles.
+- :mod:`repro.testbed` -- the paper's dumbbell testbed: tc-style router
+  configuration, iperf, packet capture, ping, PresentMon.
+- :mod:`repro.analysis` -- bitrate bands, fairness, adaptiveness, RTT /
+  loss / frame-rate tables.
+- :mod:`repro.experiments` -- run configs, the Table 2 grid, striped
+  campaigns.
+
+Quickstart::
+
+    from repro import QUICK, RunConfig, run_single
+
+    result = run_single(RunConfig(
+        system="stadia", capacity_bps=25e6, queue_mult=2.0,
+        cca="cubic", seed=1, timeline=QUICK,
+    ))
+    print(result.fairness_game_bps / 1e6, "Mb/s for the game stream")
+"""
+
+from repro.experiments import (
+    Campaign,
+    ConditionResult,
+    PAPER,
+    QUICK,
+    RunConfig,
+    RunResult,
+    SMOKE,
+    Timeline,
+    condition_grid,
+    run_single,
+    striped_order,
+)
+from repro.streaming.systems import GEFORCE, LUNA, STADIA, SYSTEMS, SystemProfile
+from repro.testbed.tc import RouterConfig, bdp_bytes, queue_limit_bytes
+from repro.testbed.topology import GameStreamingTestbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Campaign",
+    "ConditionResult",
+    "GEFORCE",
+    "GameStreamingTestbed",
+    "LUNA",
+    "PAPER",
+    "QUICK",
+    "RouterConfig",
+    "RunConfig",
+    "RunResult",
+    "SMOKE",
+    "STADIA",
+    "SYSTEMS",
+    "SystemProfile",
+    "Timeline",
+    "bdp_bytes",
+    "condition_grid",
+    "queue_limit_bytes",
+    "run_single",
+    "striped_order",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Bitrate time series across runs (Figure 2).
+
+The paper computes each system's bitrate every 0.5 seconds, then plots
+the mean across 15 runs with 95% confidence bands, one line per queue
+size.  :func:`aggregate_bitrate_series` takes the per-run series (from
+:meth:`repro.testbed.capture.PacketCapture.bitrate_series`) and produces
+the band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import _t_quantile
+
+__all__ = ["BitrateBand", "aggregate_bitrate_series"]
+
+
+@dataclass
+class BitrateBand:
+    """Mean bitrate over time with a 95% confidence band."""
+
+    times: np.ndarray  # bin centres, seconds
+    mean: np.ndarray  # bits/second
+    ci_half: np.ndarray  # 95% CI half-width
+    runs: int
+
+    @property
+    def lower(self) -> np.ndarray:
+        return self.mean - self.ci_half
+
+    @property
+    def upper(self) -> np.ndarray:
+        return self.mean + self.ci_half
+
+    def mean_over(self, t_start: float, t_end: float) -> float:
+        """Mean of the band's mean line over a time window."""
+        mask = (self.times >= t_start) & (self.times < t_end)
+        if not mask.any():
+            raise ValueError(f"no bins in [{t_start}, {t_end})")
+        return float(self.mean[mask].mean())
+
+
+def aggregate_bitrate_series(
+    runs: list[tuple[np.ndarray, np.ndarray]]
+) -> BitrateBand:
+    """Combine per-run (times, rates) series into a mean + CI band.
+
+    All runs must share the same binning (same experiment timeline).
+    """
+    if not runs:
+        raise ValueError("no runs to aggregate")
+    times = runs[0][0]
+    for other_times, _ in runs[1:]:
+        if len(other_times) != len(times) or not np.allclose(other_times, times):
+            raise ValueError("runs have mismatched bin layouts")
+    stack = np.vstack([rates for _, rates in runs])
+    mean = stack.mean(axis=0)
+    n = stack.shape[0]
+    if n > 1:
+        std = stack.std(axis=0, ddof=1)
+        ci = _t_quantile(n - 1) * std / np.sqrt(n)
+    else:
+        ci = np.zeros_like(mean)
+    return BitrateBand(times=times, mean=mean, ci_half=ci, runs=n)

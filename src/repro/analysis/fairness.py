@@ -1,0 +1,41 @@
+"""Fairness: the ratio of bitrate difference (Figure 3).
+
+The paper's fairness measure for a game system competing with a TCP
+flow is the average throughput difference (game minus TCP) normalised
+by the bottleneck capacity, computed from 220 s to 370 s -- i.e. the
+steady contention window, deliberately excluding the initial response.
+It ranges from -1 (TCP gets everything) through 0 (equal shares) to +1
+(the game gets everything).
+
+:func:`harm` implements the harm-based alternative the paper's
+future-work section points at (Ware et al., HotNets 2019): the relative
+degradation a competitor inflicts compared to the victim's solo
+performance.
+"""
+
+from __future__ import annotations
+
+__all__ = ["fairness_ratio", "harm"]
+
+
+def fairness_ratio(game_bps: float, tcp_bps: float, capacity_bps: float) -> float:
+    """(game - tcp) / capacity, clipped to [-1, 1]."""
+    if capacity_bps <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity_bps}")
+    ratio = (game_bps - tcp_bps) / capacity_bps
+    return max(-1.0, min(1.0, ratio))
+
+
+def harm(solo_value: float, contested_value: float, higher_is_better: bool = True) -> float:
+    """Ware-style harm: fractional degradation relative to running solo.
+
+    0 means no harm; 1 means the metric was fully destroyed.  For
+    lower-is-better metrics (RTT, loss) pass ``higher_is_better=False``.
+    """
+    if solo_value <= 0:
+        raise ValueError(f"solo_value must be positive, got {solo_value}")
+    if higher_is_better:
+        degradation = (solo_value - contested_value) / solo_value
+    else:
+        degradation = (contested_value - solo_value) / solo_value
+    return max(0.0, min(1.0, degradation))

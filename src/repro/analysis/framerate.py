@@ -1,0 +1,17 @@
+"""Frame-rate cells (Table 5).
+
+Each cell is the mean displayed (PresentMon) frame rate over the
+three-minute contention window, averaged per run, with the standard
+deviation across runs in parentheses.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import mean_std
+
+__all__ = ["framerate_cell"]
+
+
+def framerate_cell(fps_per_run: list[float]) -> tuple[float, float]:
+    """Mean and std of per-run displayed frame rates."""
+    return mean_std(fps_per_run)

@@ -1,0 +1,18 @@
+"""Loss-rate summaries (Section 4.3).
+
+The paper reports that game-stream loss rates are near zero without a
+competing flow and stay under one percent with one, slightly higher for
+small queues and against BBR.  Cells are the mean per-run loss rate of
+the media flow with its standard deviation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import mean_std
+
+__all__ = ["loss_cell"]
+
+
+def loss_cell(loss_rates_per_run: list[float]) -> tuple[float, float]:
+    """Mean and std of per-run loss fractions."""
+    return mean_std(loss_rates_per_run)

@@ -1,0 +1,117 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness prints the same rows and series the paper
+reports; these helpers format them for a terminal: "mean (std)" grids
+(Tables 1/3/4/5), signed heatmaps (Figure 3), ASCII time-series
+sparklines (Figure 2), and the adaptiveness-fairness scatter summary
+(Figure 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import format_mean_std
+
+__all__ = [
+    "render_table",
+    "render_heatmap",
+    "render_series",
+    "render_scatter",
+]
+
+
+def render_table(
+    title: str,
+    row_labels: list[str],
+    col_labels: list[str],
+    cells: dict[tuple[str, str], tuple[float, float]],
+    digits: int = 1,
+) -> str:
+    """A "mean (std)" grid keyed by (row, col)."""
+    col_width = max(
+        [len(c) for c in col_labels]
+        + [
+            len(format_mean_std(*cells.get((r, c), (float("nan"), 0.0)), digits))
+            for r in row_labels
+            for c in col_labels
+        ]
+    ) + 2
+    row_width = max(len(r) for r in row_labels) + 2
+    lines = [title, "-" * len(title)]
+    header = " " * row_width + "".join(c.rjust(col_width) for c in col_labels)
+    lines.append(header)
+    for row in row_labels:
+        cells_text = "".join(
+            format_mean_std(*cells.get((row, col), (float("nan"), 0.0)), digits).rjust(
+                col_width
+            )
+            for col in col_labels
+        )
+        lines.append(row.ljust(row_width) + cells_text)
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    title: str,
+    row_labels: list[str],
+    col_labels: list[str],
+    values: dict[tuple[str, str], float],
+) -> str:
+    """A signed-value grid (Figure 3 cells), e.g. "+0.21" / "-0.47"."""
+    col_width = max(max(len(c) for c in col_labels), 6) + 2
+    row_width = max(len(r) for r in row_labels) + 2
+    lines = [title, "-" * len(title)]
+    lines.append(" " * row_width + "".join(c.rjust(col_width) for c in col_labels))
+    for row in row_labels:
+        cells = []
+        for col in col_labels:
+            v = values.get((row, col))
+            cells.append(("-" if v is None else f"{v:+.2f}").rjust(col_width))
+        lines.append(row.ljust(row_width) + "".join(cells))
+    return "\n".join(lines)
+
+
+_SPARK = " .:-=+*#%@"
+
+
+def render_series(
+    title: str,
+    times: np.ndarray,
+    series: dict[str, np.ndarray],
+    width: int = 72,
+    vmax: float | None = None,
+) -> str:
+    """ASCII sparklines of bitrate-vs-time lines (Figure 2)."""
+    lines = [title, "-" * len(title)]
+    t0, t1 = float(times[0]), float(times[-1])
+    if vmax is None:
+        vmax = max(float(np.nanmax(v)) for v in series.values()) or 1.0
+    for label, values in series.items():
+        idx = np.linspace(0, len(values) - 1, width).astype(int)
+        sampled = np.asarray(values)[idx]
+        chars = [
+            _SPARK[min(int(v / vmax * (len(_SPARK) - 1)), len(_SPARK) - 1)]
+            if np.isfinite(v) and v > 0
+            else " "
+            for v in sampled
+        ]
+        lines.append(f"{label:>12s} |{''.join(chars)}|")
+    lines.append(f"{'':>12s}  t={t0:.0f}s{'':.<{max(width - 18, 0)}}t={t1:.0f}s  (peak {vmax / 1e6:.1f} Mb/s)")
+    return "\n".join(lines)
+
+
+def render_scatter(title: str, points) -> str:
+    """Figure 4 as a table: one row per (system, condition) point."""
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"{'system':>8s} {'cca':>6s} {'cap':>6s} {'queue':>6s} "
+        f"{'fairness':>9s} {'response':>9s} {'recovery':>9s} {'adapt':>6s}"
+    )
+    for p in points:
+        lines.append(
+            f"{p.system:>8s} {p.cca:>6s} {p.capacity_bps / 1e6:>5.0f}M "
+            f"{p.queue_mult:>5.1f}x {p.fairness:>+9.2f} {p.response:>8.1f}s "
+            f"{p.recovery:>8.1f}s {p.adaptiveness:>6.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Round-trip-time cells (Tables 3 and 4).
+
+Each table cell is the mean ping RTT over the relevant three-minute
+window with its standard deviation: the full contention window when a
+TCP flow competes (Table 4), or the matching window of a solo run
+(Table 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import mean_std
+
+__all__ = ["rtt_cell"]
+
+
+def rtt_cell(rtt_samples_per_run: list[np.ndarray]) -> tuple[float, float]:
+    """Pool each run's RTT samples; returns (mean, std) in seconds.
+
+    The paper's cells are computed over all samples of all runs of a
+    condition, so runs are concatenated before the statistics.
+    """
+    pools = [np.asarray(s) for s in rtt_samples_per_run if len(s)]
+    if not pools:
+        return float("nan"), float("nan")
+    return mean_std(np.concatenate(pools))

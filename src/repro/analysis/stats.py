@@ -1,0 +1,63 @@
+"""Shared statistics helpers.
+
+The paper reports means with standard deviations in parentheses
+(Tables 1, 3, 4, 5) and shades 95% confidence intervals across the 15
+runs of each condition (Figure 2).  These helpers centralise that
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mean_std", "confidence_interval_95", "format_mean_std"]
+
+# Two-sided 97.5% Student-t quantiles for small sample sizes (df 1..30);
+# beyond 30 the normal approximation is used.  Hard-coding the table
+# avoids importing scipy for one function.
+_T_975 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def mean_std(values) -> tuple[float, float]:
+    """Sample mean and (ddof=1) standard deviation; (nan, nan) if empty."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return float("nan"), float("nan")
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    return float(arr.mean()), float(arr.std(ddof=1))
+
+
+def _t_quantile(df: int) -> float:
+    if df < 1:
+        return float("nan")
+    if df <= len(_T_975):
+        return _T_975[df - 1]
+    return 1.96
+
+
+def confidence_interval_95(values) -> tuple[float, float]:
+    """Mean and 95% CI half-width across runs (Student-t).
+
+    This is the shading in Figure 2: the half-width is
+    ``t * s / sqrt(n)`` with n-1 degrees of freedom.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return float("nan"), float("nan")
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    mean, std = mean_std(arr)
+    half = _t_quantile(arr.size - 1) * std / np.sqrt(arr.size)
+    return mean, float(half)
+
+
+def format_mean_std(mean: float, std: float, digits: int = 1) -> str:
+    """The paper's "mean (std)" cell format."""
+    if np.isnan(mean):
+        return "-"
+    return f"{mean:.{digits}f} ({std:.{digits}f})"

@@ -1,0 +1,178 @@
+"""Command-line interface: run conditions and print the paper's artefacts.
+
+Examples::
+
+    # One run, summarised
+    repro-gsnet run --system stadia --cca cubic --capacity 25 --queue 2
+
+    # A condition with several iterations, Figure-3-style cell value
+    repro-gsnet condition --system luna --cca bbr --capacity 35 \
+        --queue 0.5 --iterations 3
+
+    # Table 1 (baseline bitrates, no constraint, no competitor)
+    repro-gsnet table1 --iterations 3
+
+The heavy multi-condition artefacts (Figures 2-4, Tables 3-5) live in
+``benchmarks/`` where their results are recorded; the CLI covers
+interactive spot checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.render import render_table
+from repro.experiments import Campaign, PAPER, QUICK, RunConfig, SMOKE, run_single
+from repro.experiments.conditions import SYSTEM_NAMES
+from repro.streaming.systems import SYSTEMS
+from repro.tcp import CCA_REGISTRY
+
+__all__ = ["main"]
+
+_TIMELINES = {"paper": PAPER, "quick": QUICK, "smoke": SMOKE}
+
+
+def _add_condition_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--system", choices=sorted(SYSTEMS), required=True)
+    parser.add_argument(
+        "--cca", choices=sorted(CCA_REGISTRY), default=None,
+        help="competing TCP congestion control (omit for a solo run)",
+    )
+    parser.add_argument(
+        "--capacity", type=float, default=25.0, help="bottleneck capacity, Mb/s"
+    )
+    parser.add_argument(
+        "--queue", type=float, default=2.0, help="queue size, multiples of BDP"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--profile", choices=sorted(_TIMELINES), default="quick",
+        help="timeline scale (paper = full 9-minute runs)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gsnet",
+        description="Game streaming vs TCP Cubic/BBR (IMC 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one configuration")
+    _add_condition_args(run_parser)
+    run_parser.add_argument("--json", action="store_true", help="emit JSON")
+
+    cond_parser = sub.add_parser("condition", help="run several iterations")
+    _add_condition_args(cond_parser)
+    cond_parser.add_argument("--iterations", type=int, default=3)
+
+    table1 = sub.add_parser("table1", help="baseline bitrates (paper Table 1)")
+    table1.add_argument("--iterations", type=int, default=3)
+    table1.add_argument(
+        "--profile", choices=sorted(_TIMELINES), default="quick",
+    )
+    return parser
+
+
+def _make_config(args: argparse.Namespace, seed: int | None = None) -> RunConfig:
+    return RunConfig(
+        system=args.system,
+        capacity_bps=args.capacity * 1e6,
+        queue_mult=args.queue,
+        cca=args.cca,
+        seed=args.seed if seed is None else seed,
+        timeline=_TIMELINES[args.profile],
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_single(_make_config(args))
+    if args.json:
+        print(json.dumps(result.to_dict()))
+        return 0
+    print(f"run {args.system} vs {args.cca or 'solo'} "
+          f"@ {args.capacity:g} Mb/s, {args.queue:g}x BDP (seed {args.seed})")
+    print(f"  baseline bitrate : {result.baseline_bps / 1e6:6.2f} Mb/s")
+    if args.cca:
+        ratio = (result.fairness_game_bps - result.fairness_iperf_bps) / result.capacity_bps
+        print(f"  game / iperf     : {result.fairness_game_bps / 1e6:6.2f} / "
+              f"{result.fairness_iperf_bps / 1e6:6.2f} Mb/s (ratio {ratio:+.2f})")
+    print(f"  loss rate        : {result.game_loss_rate:8.4f}")
+    print(f"  displayed f/s    : {result.displayed_fps_contention:6.1f}")
+    rtts = result.rtt_samples[:, 1] if result.rtt_samples.size else []
+    if len(rtts):
+        import numpy as np
+
+        print(f"  mean RTT         : {float(np.mean(rtts)) * 1e3:6.1f} ms")
+    return 0
+
+
+def _cmd_condition(args: argparse.Namespace) -> int:
+    timeline = _TIMELINES[args.profile]
+    configs = [_make_config(args, seed=args.seed + i) for i in range(args.iterations)]
+    campaign = Campaign().run(configs)
+    condition = campaign.get(args.system, args.cca, args.capacity * 1e6, args.queue)
+    print(f"condition {args.system} vs {args.cca or 'solo'} "
+          f"@ {args.capacity:g} Mb/s, {args.queue:g}x BDP, "
+          f"{args.iterations} iterations")
+    mean, std = condition.baseline_bitrate()
+    print(f"  baseline bitrate : {mean / 1e6:.2f} ({std / 1e6:.2f}) Mb/s")
+    if args.cca:
+        print(f"  fairness ratio   : {condition.fairness():+.2f}")
+        response, recovery = condition.response_recovery(timeline)
+        print(f"  response time    : {response:.1f} s")
+        print(f"  recovery time    : {recovery:.1f} s")
+    mean, std = condition.rtt_cell(timeline)
+    print(f"  RTT              : {mean * 1e3:.1f} ({std * 1e3:.1f}) ms")
+    mean, std = condition.loss_cell()
+    print(f"  loss rate        : {mean:.4f} ({std:.4f})")
+    mean, std = condition.framerate_cell()
+    print(f"  frame rate       : {mean:.1f} ({std:.1f}) f/s")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    timeline = _TIMELINES[args.profile]
+    configs = [
+        RunConfig(
+            system=system,
+            capacity_bps=1e9,
+            queue_mult=2.0,
+            cca=None,
+            seed=i,
+            timeline=timeline,
+        )
+        for i in range(args.iterations)
+        for system in SYSTEM_NAMES
+    ]
+    campaign = Campaign().run(configs)
+    cells = {}
+    for system in SYSTEM_NAMES:
+        condition = campaign.get(system, None, 1e9, 2.0)
+        mean, std = condition.baseline_bitrate()
+        cells[(system, "Bitrate (Mb/s)")] = (mean / 1e6, std / 1e6)
+    print(
+        render_table(
+            "Table 1: game system bitrates without constraints",
+            list(SYSTEM_NAMES),
+            ["Bitrate (Mb/s)"],
+            cells,
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "condition": _cmd_condition,
+        "table1": _cmd_table1,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

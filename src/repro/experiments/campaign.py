@@ -1,0 +1,151 @@
+"""Campaigns: many runs, aggregated per condition.
+
+A :class:`Campaign` executes runs (optionally in parallel across
+processes -- each run is an independent simulation) and groups results
+by condition key ``(system, cca, capacity, queue_mult)`` for the
+analysis layer.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.adaptiveness import recovery_time, response_time
+from repro.analysis.bitrate import BitrateBand, aggregate_bitrate_series
+from repro.analysis.stats import mean_std
+from repro.experiments.config import RunConfig
+from repro.experiments.profiles import Timeline
+from repro.experiments.results import RunResult
+from repro.experiments.runner import run_single
+
+__all__ = ["Campaign", "ConditionResult", "condition_key"]
+
+
+def condition_key(result: RunResult) -> tuple:
+    return (result.system, result.cca, result.capacity_bps, result.queue_mult)
+
+
+@dataclass
+class ConditionResult:
+    """All runs of one (system, cca, capacity, queue) condition."""
+
+    system: str
+    cca: str | None
+    capacity_bps: float
+    queue_mult: float
+    runs: list[RunResult] = field(default_factory=list)
+
+    # -- aggregates used by the benchmark harness -------------------------
+    def game_band(self) -> BitrateBand:
+        """Mean bitrate over time with 95% CI (a Figure 2 line)."""
+        return aggregate_bitrate_series([(r.times, r.game_bps) for r in self.runs])
+
+    def iperf_band(self) -> BitrateBand:
+        return aggregate_bitrate_series([(r.times, r.iperf_bps) for r in self.runs])
+
+    def fairness(self) -> float:
+        """Mean (game - iperf) / capacity over the fairness window."""
+        ratios = [
+            (r.fairness_game_bps - r.fairness_iperf_bps) / r.capacity_bps
+            for r in self.runs
+        ]
+        return float(np.mean(ratios))
+
+    def baseline_bitrate(self) -> tuple[float, float]:
+        """Mean/std of the per-run baseline (Table 1 uses solo runs)."""
+        return mean_std([r.solo_bps for r in self.runs])
+
+    def rtt_cell(self, timeline: Timeline, window: str = "contention") -> tuple[float, float]:
+        """Pooled RTT mean/std over a window ("contention" or "solo")."""
+        lo, hi = (
+            timeline.contention_window if window == "contention" else timeline.solo_window
+        )
+        pools = [r.rtts_in(lo, hi) for r in self.runs]
+        pools = [p for p in pools if len(p)]
+        if not pools:
+            return float("nan"), float("nan")
+        return mean_std(np.concatenate(pools))
+
+    def loss_cell(self) -> tuple[float, float]:
+        return mean_std([r.game_loss_rate for r in self.runs])
+
+    def framerate_cell(self) -> tuple[float, float]:
+        return mean_std([r.displayed_fps_contention for r in self.runs])
+
+    def response_recovery(self, timeline: Timeline) -> tuple[float, float]:
+        """Mean per-run response and recovery times (Section 4.2)."""
+        adj_lo, adj_hi = timeline.adjusted_window
+        responses, recoveries = [], []
+        for r in self.runs:
+            mask = (r.times >= adj_lo) & (r.times < adj_hi)
+            adjusted_mean, adjusted_std = mean_std(r.game_bps[mask])
+            base_lo, base_hi = timeline.baseline_window
+            base_mask = (r.times >= base_lo) & (r.times < base_hi)
+            original_mean, original_std = mean_std(r.game_bps[base_mask])
+            responses.append(
+                response_time(
+                    r.times,
+                    r.game_bps,
+                    timeline.iperf_start,
+                    timeline.iperf_stop,
+                    adjusted_mean,
+                    adjusted_std,
+                )
+            )
+            recoveries.append(
+                recovery_time(
+                    r.times,
+                    r.game_bps,
+                    timeline.iperf_stop,
+                    timeline.end,
+                    original_mean,
+                    original_std,
+                )
+            )
+        return float(np.mean(responses)), float(np.mean(recoveries))
+
+
+class Campaign:
+    """Execute a set of runs and aggregate them per condition."""
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.conditions: dict[tuple, ConditionResult] = {}
+
+    def run(self, configs: list[RunConfig]) -> "Campaign":
+        """Run every config, grouping results by condition."""
+        if self.workers == 1:
+            results = [run_single(cfg) for cfg in configs]
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                results = list(pool.map(run_single, configs, chunksize=1))
+        for result in results:
+            self.add(result)
+        return self
+
+    def add(self, result: RunResult) -> None:
+        key = condition_key(result)
+        condition = self.conditions.get(key)
+        if condition is None:
+            condition = ConditionResult(
+                system=result.system,
+                cca=result.cca,
+                capacity_bps=result.capacity_bps,
+                queue_mult=result.queue_mult,
+            )
+            self.conditions[key] = condition
+        condition.runs.append(result)
+
+    def get(
+        self, system: str, cca: str | None, capacity_bps: float, queue_mult: float
+    ) -> ConditionResult:
+        key = (system, cca, capacity_bps, queue_mult)
+        try:
+            return self.conditions[key]
+        except KeyError:
+            raise KeyError(f"no runs for condition {key}") from None

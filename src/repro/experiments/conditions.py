@@ -1,0 +1,91 @@
+"""The parameter grid of Table 2 and the paper's striped run order.
+
+The paper iterates, outer loop to inner:
+``[1..15 iterations] [Cubic, BBR] [35, 25, 15 Mb/s] [7x, 2x, 0.5x]
+[Stadia, GeForce, Luna]`` -- striping across game systems so that the
+three systems of one condition run as close together in time as
+possible.  In simulation there is no time-of-day drift, but the same
+ordering is preserved (it also determines seed assignment, so a given
+iteration index sees the same content across systems, mirroring the
+scripted-gameplay design).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.experiments.config import RunConfig
+from repro.experiments.profiles import QUICK, Timeline
+
+__all__ = [
+    "SYSTEM_NAMES",
+    "CCAS",
+    "CAPACITIES",
+    "QUEUE_MULTS",
+    "condition_grid",
+    "striped_order",
+]
+
+#: Presentation order (Stadia, GeForce, Luna), as in the paper.
+SYSTEM_NAMES = ("stadia", "geforce", "luna")
+#: Competing congestion control algorithms.
+CCAS = ("cubic", "bbr")
+#: Capacity limits, Mb/s -> bps, in the paper's outer-loop order.
+CAPACITIES = (35e6, 25e6, 15e6)
+#: Queue sizes in BDP multiples, in the paper's loop order.
+QUEUE_MULTS = (7.0, 2.0, 0.5)
+
+
+def condition_grid(
+    ccas=CCAS,
+    capacities=CAPACITIES,
+    queue_mults=QUEUE_MULTS,
+    systems=SYSTEM_NAMES,
+) -> list[tuple[str, float, float, str]]:
+    """All (cca, capacity, queue_mult, system) cells, in loop order."""
+    return [
+        (cca, capacity, queue, system)
+        for cca in ccas
+        for capacity in capacities
+        for queue in queue_mults
+        for system in systems
+    ]
+
+
+def striped_order(
+    iterations: int,
+    timeline: Timeline = QUICK,
+    ccas=CCAS,
+    capacities=CAPACITIES,
+    queue_mults=QUEUE_MULTS,
+    systems=SYSTEM_NAMES,
+    base_seed: int = 0,
+) -> Iterator[RunConfig]:
+    """Yield run configs in the paper's striped order.
+
+    Within one iteration every system of a condition shares the same
+    seed, the analogue of the identical scripted gameplay; distinct
+    conditions and iterations get distinct seeds.
+    """
+    if iterations <= 0:
+        raise ValueError(f"iterations must be positive, got {iterations}")
+    for iteration in range(iterations):
+        for cca_index, cca in enumerate(ccas):
+            for cap_index, capacity in enumerate(capacities):
+                for queue_index, queue in enumerate(queue_mults):
+                    seed = (
+                        base_seed
+                        + 10_000 * iteration
+                        + 1_000 * cca_index
+                        + 100 * cap_index
+                        + 10 * queue_index
+                    )
+                    for system in systems:
+                        yield RunConfig(
+                            system=system,
+                            capacity_bps=capacity,
+                            queue_mult=queue,
+                            cca=cca,
+                            seed=seed,
+                            timeline=timeline,
+                        )

@@ -1,0 +1,79 @@
+"""Run one experiment configuration end to end.
+
+Mirrors the paper's per-round procedure (Section 3.4): configure the
+router, start captures and probes, play the game, start iperf three
+minutes in, stop it three minutes later, keep playing three more
+minutes, then collect all measurements into a
+:class:`~repro.experiments.results.RunResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import RunConfig
+from repro.experiments.results import RunResult
+from repro.testbed.tc import RouterConfig
+from repro.testbed.topology import IPERF_FLOW, GameStreamingTestbed
+
+__all__ = ["run_single"]
+
+
+def run_single(config: RunConfig) -> RunResult:
+    """Execute one run and return its measurements."""
+    timeline = config.timeline
+    router = RouterConfig(rate_bps=config.capacity_bps, queue_mult=config.queue_mult)
+    testbed = GameStreamingTestbed(
+        config.system,
+        router,
+        seed=config.seed,
+        competing_cca=config.cca,
+        qdisc=config.qdisc,
+    )
+
+    testbed.start_game()
+    if config.competing:
+        testbed.schedule_iperf(timeline.iperf_start, timeline.iperf_stop)
+    testbed.run(until=timeline.end)
+
+    return _collect(config, testbed)
+
+
+def _collect(config: RunConfig, testbed: GameStreamingTestbed) -> RunResult:
+    timeline = config.timeline
+    game_flow = testbed.game_flow
+    times, game_bps = testbed.capture.bitrate_series(
+        game_flow, 0.0, timeline.end, timeline.bin_width
+    )
+    _, iperf_bps = testbed.capture.bitrate_series(
+        IPERF_FLOW, 0.0, timeline.end, timeline.bin_width
+    )
+
+    baseline_lo, baseline_hi = timeline.baseline_window
+    fair_lo, fair_hi = timeline.fairness_window
+    solo_lo, solo_hi = timeline.solo_window
+    cont_lo, cont_hi = timeline.contention_window
+
+    client = testbed.client
+    return RunResult(
+        system=config.system,
+        cca=config.cca,
+        capacity_bps=config.capacity_bps,
+        queue_mult=config.queue_mult,
+        seed=config.seed,
+        timeline_scale=timeline.scale,
+        times=times,
+        game_bps=game_bps,
+        iperf_bps=iperf_bps,
+        baseline_bps=testbed.capture.throughput_bps(game_flow, baseline_lo, baseline_hi),
+        fairness_game_bps=testbed.capture.throughput_bps(game_flow, fair_lo, fair_hi),
+        fairness_iperf_bps=testbed.capture.throughput_bps(IPERF_FLOW, fair_lo, fair_hi),
+        solo_bps=testbed.capture.throughput_bps(game_flow, solo_lo, solo_hi),
+        rtt_samples=np.asarray(testbed.prober.samples).reshape(-1, 2),
+        game_loss_rate=testbed.game_loss_rate(),
+        displayed_fps_contention=client.displayed_fps(cont_lo, cont_hi),
+        displayed_fps_solo=client.displayed_fps(solo_lo, solo_hi),
+        frames_displayed=client.frames_displayed,
+        frames_dropped=client.frames_dropped,
+        target_log=np.asarray(testbed.server.target_log).reshape(-1, 2),
+    )

@@ -1,0 +1,54 @@
+"""Discrete-event network simulation substrate.
+
+This package replaces the paper's physical testbed (PCs, a 1 Gb/s switch,
+and a Raspberry Pi router running ``tc``/``netem``) with a packet-level
+discrete-event simulator.  The building blocks are:
+
+- :class:`~repro.sim.engine.Simulator` -- the event loop and clock.
+- :class:`~repro.sim.packet.Packet` -- the unit of transmission.
+- :class:`~repro.sim.link.Link` -- serialisation plus propagation delay.
+- :class:`~repro.sim.queues.DropTailQueue` -- a byte-limited FIFO, the
+  paper's drop-tail bottleneck buffer.
+- :class:`~repro.sim.token_bucket.TokenBucketFilter` -- ``tc tbf``-style
+  shaping (rate, burst, limit).
+- :class:`~repro.sim.netem.NetemDelay` -- ``tc netem``-style added delay.
+- :class:`~repro.sim.aqm.CoDelQueue` / :class:`~repro.sim.aqm.FQCoDelQueue`
+  -- the AQM the paper lists as future work.
+- :class:`~repro.sim.node.Tap`, :class:`~repro.sim.node.Demux` -- wiring
+  helpers (trace taps and per-flow fan-out).
+"""
+
+from repro.sim.aqm import CoDelQueue, FQCoDelQueue
+from repro.sim.engine import Event, Simulator
+from repro.sim.flowstats import FlowStats, StatsRegistry
+from repro.sim.link import Link
+from repro.sim.netem import NetemDelay, NetemLoss
+from repro.sim.node import Demux, PacketSink, Pipeline, Tap
+from repro.sim.packet import ACK, DATA, FEEDBACK, PING, PONG, Packet
+from repro.sim.queues import DropTailQueue, Queue
+from repro.sim.token_bucket import TokenBucketFilter
+
+__all__ = [
+    "ACK",
+    "CoDelQueue",
+    "DATA",
+    "Demux",
+    "DropTailQueue",
+    "Event",
+    "FEEDBACK",
+    "FQCoDelQueue",
+    "FlowStats",
+    "Link",
+    "NetemDelay",
+    "NetemLoss",
+    "PING",
+    "PONG",
+    "Packet",
+    "PacketSink",
+    "Pipeline",
+    "Queue",
+    "Simulator",
+    "StatsRegistry",
+    "Tap",
+    "TokenBucketFilter",
+]

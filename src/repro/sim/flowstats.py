@@ -1,0 +1,62 @@
+"""Per-flow send/receive/drop accounting.
+
+Loss rates in the paper (Section 4.3) are computed from Wireshark traces
+as the fraction of sent packets that never reach the client.  A
+:class:`StatsRegistry` aggregates per-flow counters fed by sender hooks,
+drop callbacks, and receive taps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FlowStats", "StatsRegistry"]
+
+
+@dataclass
+class FlowStats:
+    """Counters for one flow."""
+
+    flow: str
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    packets_received: int = 0
+    bytes_received: int = 0
+    packets_dropped: int = 0
+    bytes_dropped: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent packets dropped in the network (0 when idle)."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_dropped / self.packets_sent
+
+
+@dataclass
+class StatsRegistry:
+    """Keyed collection of :class:`FlowStats`."""
+
+    flows: dict[str, FlowStats] = field(default_factory=dict)
+
+    def for_flow(self, flow: str) -> FlowStats:
+        stats = self.flows.get(flow)
+        if stats is None:
+            stats = FlowStats(flow)
+            self.flows[flow] = stats
+        return stats
+
+    def on_send(self, pkt) -> None:
+        stats = self.for_flow(pkt.flow)
+        stats.packets_sent += 1
+        stats.bytes_sent += pkt.size
+
+    def on_receive(self, pkt) -> None:
+        stats = self.for_flow(pkt.flow)
+        stats.packets_received += 1
+        stats.bytes_received += pkt.size
+
+    def on_drop(self, pkt) -> None:
+        stats = self.for_flow(pkt.flow)
+        stats.packets_dropped += 1
+        stats.bytes_dropped += pkt.size

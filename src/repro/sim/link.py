@@ -1,0 +1,87 @@
+"""Links: serialisation plus propagation.
+
+A :class:`Link` models a transmission line of a given rate: packets are
+serialised one at a time (``size * 8 / rate`` seconds each) and then
+delivered to the downstream sink after a fixed propagation delay.  The
+link drains an attached :class:`~repro.sim.queues.Queue`; the bottleneck
+in our testbed is a 15/25/35 Mb/s link fed by a drop-tail queue sized in
+multiples of the BDP, exactly mirroring the paper's ``tbf`` setup.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.queues import Queue, UnboundedQueue
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A fixed-rate transmission link drained from a queue.
+
+    Args:
+        sim: the event loop.
+        rate_bps: line rate in bits per second.
+        delay: one-way propagation delay in seconds.
+        sink: downstream object with a ``receive(pkt)`` method.
+        queue: the buffer feeding this link; defaults to an unbounded FIFO.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        delay: float,
+        sink,
+        queue: Queue | None = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive, got {rate_bps}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.sink = sink
+        self.queue = queue if queue is not None else UnboundedQueue(sim)
+        self.busy = False
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet) -> None:
+        """Entry point: enqueue a packet and start transmitting if idle."""
+        if self.queue.enqueue(pkt):
+            self._kick()
+
+    def _kick(self) -> None:
+        if self.busy:
+            return
+        pkt = self.queue.pop()
+        if pkt is None:
+            return
+        self.busy = True
+        tx_time = pkt.size * 8.0 / self.rate_bps
+        self.sim.schedule(tx_time, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.bytes_sent += pkt.size
+        self.packets_sent += 1
+        if self.delay > 0:
+            self.sim.schedule(self.delay, self.sink.receive, pkt)
+        else:
+            self.sink.receive(pkt)
+        self.busy = False
+        self._kick()
+
+    # ------------------------------------------------------------------
+    def serialization_time(self, size_bytes: int) -> float:
+        """Seconds needed to put ``size_bytes`` on the wire."""
+        return size_bytes * 8.0 / self.rate_bps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.rate_bps / 1e6:.1f}Mb/s delay={self.delay * 1e3:.2f}ms "
+            f"queued={len(self.queue)}>"
+        )

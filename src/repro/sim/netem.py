@@ -1,0 +1,116 @@
+"""``tc netem``-style impairment stages.
+
+The paper adds per-path delay at the router (``netem delay 4ms``) to
+equalise the round-trip time of each game service and the iperf flow at
+~16.5 ms.  :class:`NetemDelay` delays every packet by a fixed amount plus
+optional jitter, while never reordering: a packet is released no earlier
+than the packet before it, matching netem's default FIFO behaviour.
+
+:class:`NetemLoss` is netem's random-loss knob (``netem loss 5%``),
+used by the loss-resilience ablation that checks the related-work claim
+(Di Domenico et al., 2021) that the streaming services tolerate several
+percent of random loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+__all__ = ["NetemDelay", "NetemLoss"]
+
+
+class NetemDelay:
+    """Fixed (optionally jittered) one-way delay, order-preserving.
+
+    Args:
+        sim: the event loop.
+        delay: base one-way delay in seconds.
+        sink: downstream object with a ``receive(pkt)`` method.
+        jitter: uniform jitter half-width in seconds (netem ``delay X Y``).
+        rng: random generator used for jitter; required when jitter > 0.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float,
+        sink,
+        jitter: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self.sim = sim
+        self.delay = delay
+        self.jitter = jitter
+        self.rng = rng
+        self.sink = sink
+        self._last_release = 0.0
+        self.packets_delayed = 0
+
+    def receive(self, pkt: Packet) -> None:
+        delay = self.delay
+        if self.jitter > 0:
+            delay += self.rng.uniform(-self.jitter, self.jitter)
+            if delay < 0:
+                delay = 0.0
+        release = self.sim.now + delay
+        if release < self._last_release:  # no reordering
+            release = self._last_release
+        self._last_release = release
+        self.packets_delayed += 1
+        self.sim.schedule_at(release, self.sink.receive, pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NetemDelay {self.delay * 1e3:.2f}ms jitter={self.jitter * 1e3:.2f}ms>"
+
+
+class NetemLoss:
+    """Independent random loss (``tc netem loss P%``).
+
+    Args:
+        sim: the event loop.
+        loss_rate: drop probability per packet, in [0, 1).
+        sink: downstream object with a ``receive(pkt)`` method.
+        rng: seeded generator deciding each packet's fate.
+        on_drop: optional callback for dropped packets.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        loss_rate: float,
+        sink,
+        rng: np.random.Generator,
+        on_drop: Callable[[Packet], None] | None = None,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.loss_rate = loss_rate
+        self.sink = sink
+        self.rng = rng
+        self.on_drop = on_drop
+        self.drops = 0
+        self.passed = 0
+
+    def receive(self, pkt: Packet) -> None:
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            self.drops += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt)
+            return
+        self.passed += 1
+        self.sink.receive(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NetemLoss {self.loss_rate * 100:.1f}%>"

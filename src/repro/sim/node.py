@@ -1,0 +1,104 @@
+"""Wiring helpers: sinks, taps, demultiplexers, pipelines.
+
+The testbed composes paths out of stages (netem delay, token bucket,
+links) that all expose a single-method ``receive(pkt)`` interface.  This
+module provides the small glue pieces:
+
+- :class:`PacketSink` -- the structural protocol every stage satisfies.
+- :class:`Tap` -- a pass-through observation point (our "Wireshark").
+- :class:`Demux` -- fan-out by flow id (the router's forwarding table).
+- :class:`Pipeline` -- compose stages into one sink.
+- :class:`NullSink` / :class:`CollectorSink` -- terminal sinks for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.sim.packet import Packet
+
+__all__ = ["PacketSink", "Tap", "Demux", "Pipeline", "NullSink", "CollectorSink"]
+
+
+@runtime_checkable
+class PacketSink(Protocol):
+    """Anything that accepts packets."""
+
+    def receive(self, pkt: Packet) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Tap:
+    """Pass-through observation point.
+
+    Invokes ``observer(pkt, ...)`` for every packet, then forwards to the
+    downstream sink.  Used to implement Wireshark-style captures at the
+    router and the client without perturbing the traffic.
+    """
+
+    def __init__(self, sink: PacketSink, observer: Callable[[Packet], None]):
+        self.sink = sink
+        self.observer = observer
+
+    def receive(self, pkt: Packet) -> None:
+        self.observer(pkt)
+        self.sink.receive(pkt)
+
+
+class Demux:
+    """Forward packets to per-flow sinks -- the router's forwarding table.
+
+    Unknown flows go to ``default`` when given, otherwise raise, because a
+    misrouted packet in a simulation is always a wiring bug.
+    """
+
+    def __init__(self, default: PacketSink | None = None):
+        self._routes: dict[str, PacketSink] = {}
+        self.default = default
+
+    def route(self, flow: str, sink: PacketSink) -> None:
+        self._routes[flow] = sink
+
+    def receive(self, pkt: Packet) -> None:
+        sink = self._routes.get(pkt.flow)
+        if sink is None:
+            if self.default is None:
+                raise KeyError(f"no route for flow {pkt.flow!r}")
+            sink = self.default
+        sink.receive(pkt)
+
+
+class Pipeline:
+    """Expose the head of a chain of stages as a single sink.
+
+    Purely cosmetic -- stages are already chained by construction -- but
+    it documents path boundaries in topology code.
+    """
+
+    def __init__(self, head: PacketSink):
+        self.head = head
+
+    def receive(self, pkt: Packet) -> None:
+        self.head.receive(pkt)
+
+
+class NullSink:
+    """Swallow packets, counting them."""
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+
+    def receive(self, pkt: Packet) -> None:
+        self.packets += 1
+        self.bytes += pkt.size
+
+
+class CollectorSink:
+    """Keep every received packet, in order (tests only)."""
+
+    def __init__(self) -> None:
+        self.packets: list[Packet] = []
+
+    def receive(self, pkt: Packet) -> None:
+        self.packets.append(pkt)

@@ -1,0 +1,64 @@
+"""Packets: the unit of transmission.
+
+A single :class:`Packet` class covers every protocol in the testbed.  The
+``kind`` field distinguishes TCP data, TCP ACKs, streaming media, streaming
+feedback, and ping probes; protocol-specific state rides in the ``meta``
+slot (e.g. a :class:`~repro.tcp.receiver.AckInfo` for ACKs, a frame id for
+media packets).  Keeping one concrete class with ``__slots__`` keeps the
+per-packet cost low, which matters: a full paper-scale run moves a few
+million packets.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Packet", "DATA", "ACK", "FEEDBACK", "PING", "PONG", "MEDIA"]
+
+# Packet kinds.  Plain module-level strings (interned) compare by identity.
+DATA = "data"  # TCP payload segment
+ACK = "ack"  # TCP acknowledgement
+MEDIA = "media"  # game-stream video payload (RTP-like)
+FEEDBACK = "feedback"  # game-stream receiver report (RTCP-like)
+PING = "ping"  # echo request
+PONG = "pong"  # echo reply
+
+
+class Packet:
+    """A packet in flight.
+
+    Attributes:
+        flow: flow identifier string, e.g. ``"iperf"`` or ``"stadia"``.
+        seq: protocol sequence number (TCP segment index, RTP seq, ...).
+        size: wire size in bytes, headers included.
+        kind: one of the module-level kind constants.
+        sent_at: simulation time the sender transmitted it (set by sender).
+        meta: protocol payload (ACK blocks, feedback report, frame id...).
+        enqueued_at: time it entered the current bottleneck queue
+            (set by queues; used by AQM for sojourn time).
+    """
+
+    __slots__ = ("flow", "seq", "size", "kind", "sent_at", "meta", "enqueued_at")
+
+    def __init__(
+        self,
+        flow: str,
+        seq: int,
+        size: int,
+        kind: str = DATA,
+        sent_at: float = 0.0,
+        meta: Any = None,
+    ):
+        self.flow = flow
+        self.seq = seq
+        self.size = size
+        self.kind = kind
+        self.sent_at = sent_at
+        self.meta = meta
+        self.enqueued_at = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet {self.flow}#{self.seq} {self.kind} {self.size}B "
+            f"t={self.sent_at:.6f}>"
+        )

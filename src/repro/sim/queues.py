@@ -1,0 +1,112 @@
+"""Bottleneck queues.
+
+The paper's router buffers packets in a drop-tail queue whose size is set
+relative to the bandwidth-delay product (0.5x, 2x, or 7x BDP).  Queue depth
+is what turns competing traffic into added round-trip time (Table 4) and,
+when exhausted, into packet loss.
+
+:class:`Queue` is the abstract interface shared with the AQM variants in
+:mod:`repro.sim.aqm`; a :class:`~repro.sim.link.Link` drains whichever
+queue it is given.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+__all__ = ["Queue", "DropTailQueue", "UnboundedQueue"]
+
+
+class Queue:
+    """FIFO queue interface drained by a :class:`~repro.sim.link.Link`.
+
+    Subclasses decide the admission policy (:meth:`enqueue`) and the drain
+    policy (:meth:`pop`).  Dropped packets are reported to ``on_drop`` so
+    flow statistics and tests can observe loss.
+    """
+
+    def __init__(self, sim: Simulator, on_drop: Callable[[Packet], None] | None = None):
+        self.sim = sim
+        self.on_drop = on_drop
+        self._fifo: deque[Packet] = deque()
+        self.bytes = 0
+        self.drops = 0
+        self.enqueues = 0
+        self.peak_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def enqueue(self, pkt: Packet) -> bool:
+        """Admit ``pkt``.  Returns False (and counts a drop) if refused."""
+        raise NotImplementedError
+
+    def pop(self) -> Packet | None:
+        """Remove and return the next packet to transmit, or None."""
+        raise NotImplementedError
+
+    # Shared helpers -----------------------------------------------------
+    def _admit(self, pkt: Packet) -> None:
+        pkt.enqueued_at = self.sim.now
+        self._fifo.append(pkt)
+        self.bytes += pkt.size
+        self.enqueues += 1
+        if self.bytes > self.peak_bytes:
+            self.peak_bytes = self.bytes
+
+    def _drop(self, pkt: Packet) -> None:
+        self.drops += 1
+        if self.on_drop is not None:
+            self.on_drop(pkt)
+
+    def _pop_fifo(self) -> Packet | None:
+        if not self._fifo:
+            return None
+        pkt = self._fifo.popleft()
+        self.bytes -= pkt.size
+        return pkt
+
+
+class DropTailQueue(Queue):
+    """Byte-limited drop-tail FIFO -- the paper's bottleneck buffer.
+
+    A packet is dropped on arrival when admitting it would push the queue
+    past ``limit_bytes``.  This matches the ``limit`` parameter of the
+    ``tc tbf`` command the paper configures on its Raspberry Pi router.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        limit_bytes: int,
+        on_drop: Callable[[Packet], None] | None = None,
+    ):
+        if limit_bytes <= 0:
+            raise ValueError(f"limit_bytes must be positive, got {limit_bytes}")
+        super().__init__(sim, on_drop)
+        self.limit_bytes = limit_bytes
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if self.bytes + pkt.size > self.limit_bytes:
+            self._drop(pkt)
+            return False
+        self._admit(pkt)
+        return True
+
+    def pop(self) -> Packet | None:
+        return self._pop_fifo()
+
+
+class UnboundedQueue(Queue):
+    """FIFO with no limit, for links that are never the bottleneck."""
+
+    def enqueue(self, pkt: Packet) -> bool:
+        self._admit(pkt)
+        return True
+
+    def pop(self) -> Packet | None:
+        return self._pop_fifo()

@@ -1,0 +1,51 @@
+"""Cloud game-streaming stack: the systems under test.
+
+The paper measures three commercial black boxes -- Google Stadia, NVidia
+GeForce Now, and Amazon Luna -- all streaming 60 f/s video over UDP with
+proprietary congestion control.  We rebuild that stack as:
+
+- :mod:`repro.streaming.frames` -- a 60 f/s video source whose scene
+  complexity follows a seeded Ornstein-Uhlenbeck process (the stand-in
+  for the paper's scripted, repeatable Ys VIII gameplay).
+- :mod:`repro.streaming.encoder` -- frame sizes from the target bitrate,
+  with periodic keyframes and per-frame noise.
+- :mod:`repro.streaming.gcc` -- a delay + loss hybrid congestion
+  controller in the Google Congestion Control family, parameterised per
+  system.
+- :mod:`repro.streaming.server` / :mod:`repro.streaming.client` -- the
+  endpoints: RTP-like packetisation and pacing, RTCP-like feedback,
+  NACK-based repair, frame reassembly, and displayed-frame accounting.
+- :mod:`repro.streaming.systems` -- the Stadia / GeForce Now / Luna
+  profiles, the calibrated quantities documented in DESIGN.md section 5.
+"""
+
+from repro.streaming.client import GameStreamClient
+from repro.streaming.encoder import EncodedFrame, Encoder
+from repro.streaming.feedback import FeedbackReport
+from repro.streaming.frames import ComplexityProcess
+from repro.streaming.gcc import GccController
+from repro.streaming.server import GameStreamServer
+from repro.streaming.systems import (
+    GEFORCE,
+    LUNA,
+    STADIA,
+    SYSTEMS,
+    SystemProfile,
+    get_system,
+)
+
+__all__ = [
+    "ComplexityProcess",
+    "EncodedFrame",
+    "Encoder",
+    "FeedbackReport",
+    "GameStreamClient",
+    "GameStreamServer",
+    "GccController",
+    "GEFORCE",
+    "LUNA",
+    "STADIA",
+    "SYSTEMS",
+    "SystemProfile",
+    "get_system",
+]

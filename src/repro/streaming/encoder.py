@@ -1,0 +1,95 @@
+"""Video encoder model: target bitrate to frame sizes.
+
+A real-time game encoder is rate-controlled: given a target bitrate and
+frame rate it budgets ``bitrate / fps`` bits per frame, spends more on
+periodic keyframes (IDR), correspondingly less on the P-frames between
+them, and tracks its own recent output so noise does not accumulate into
+rate drift.  Scene complexity and per-frame noise modulate each frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streaming.frames import ComplexityProcess
+from repro.streaming.systems import SystemProfile
+
+__all__ = ["Encoder", "EncodedFrame"]
+
+
+class EncodedFrame:
+    """One encoded video frame."""
+
+    __slots__ = ("frame_id", "size", "keyframe", "encoded_at")
+
+    def __init__(self, frame_id: int, size: int, keyframe: bool, encoded_at: float):
+        self.frame_id = frame_id
+        self.size = size  # bytes
+        self.keyframe = keyframe
+        self.encoded_at = encoded_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "I" if self.keyframe else "P"
+        return f"<EncodedFrame #{self.frame_id} {kind} {self.size}B>"
+
+
+class Encoder:
+    """Rate-controlled frame-size generator.
+
+    Args:
+        profile: system profile (noise amplitudes, keyframe cadence).
+        complexity: the run's scene-complexity process.
+        rng: per-run generator for frame noise.
+    """
+
+    #: Smallest frame the encoder will emit, bytes.
+    MIN_FRAME_BYTES = 400
+
+    def __init__(
+        self,
+        profile: SystemProfile,
+        complexity: ComplexityProcess,
+        rng: np.random.Generator,
+    ):
+        self.profile = profile
+        self.complexity = complexity
+        self.rng = rng
+        self._frame_id = 0
+        self._budget_error = 0.0  # bytes over (+) or under (-) target so far
+        self._next_keyframe_at = 0.0
+
+    def encode(self, now: float, target_bitrate: float, fps: float) -> EncodedFrame:
+        """Produce the next frame at time ``now``.
+
+        The caller controls cadence (one call per 1/fps tick); the
+        encoder controls size.
+        """
+        if target_bitrate <= 0 or fps <= 0:
+            raise ValueError("target_bitrate and fps must be positive")
+        profile = self.profile
+        budget = target_bitrate / 8.0 / fps  # bytes for this frame
+
+        keyframe = now >= self._next_keyframe_at
+        if keyframe:
+            self._next_keyframe_at = now + profile.keyframe_interval
+
+        # Keyframes take keyframe_scale x budget; P-frames are scaled down
+        # so the interval average stays on target.
+        frames_per_gop = max(profile.keyframe_interval * fps, 2.0)
+        p_scale = (frames_per_gop - profile.keyframe_scale) / (frames_per_gop - 1.0)
+        p_scale = max(p_scale, 0.1)
+        scale = profile.keyframe_scale if keyframe else p_scale
+
+        noise = self.rng.lognormal(mean=0.0, sigma=profile.frame_noise)
+        size = budget * scale * self.complexity.value(now) * noise
+
+        # Closed-loop rate control: bleed off accumulated budget error.
+        correction = min(max(self._budget_error * 0.1, -0.3 * budget), 0.3 * budget)
+        size -= correction
+
+        size = max(int(size), self.MIN_FRAME_BYTES)
+        self._budget_error += size - budget
+
+        frame = EncodedFrame(self._frame_id, size, keyframe, now)
+        self._frame_id += 1
+        return frame

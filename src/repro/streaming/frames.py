@@ -1,0 +1,70 @@
+"""Scene complexity: the stand-in for scripted gameplay.
+
+The paper plays Ys VIII with input scripts so every run shows the same
+fights, camera sweeps and map areas -- i.e. the same *content complexity
+over time*, which is what drives frame sizes at a fixed target bitrate.
+We model complexity as a mean-one Ornstein-Uhlenbeck process: smooth,
+mean-reverting wander with a few-second correlation time, seeded per run
+so runs are repeatable and, like the paper's scripted runs, identical
+across systems within a run when given the same seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ComplexityProcess"]
+
+
+class ComplexityProcess:
+    """Mean-one Ornstein-Uhlenbeck scene-complexity process.
+
+    ``value(t)`` is evaluated lazily on a fixed internal grid and
+    interpolated, so callers may sample at arbitrary (monotone or not)
+    times.
+
+    Args:
+        rng: seeded generator; drives the whole trajectory.
+        amplitude: stationary standard deviation of the process.
+        tau: mean-reversion time constant, seconds.
+        grid: internal sampling step, seconds.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        amplitude: float = 0.08,
+        tau: float = 5.0,
+        grid: float = 0.1,
+    ):
+        if amplitude < 0:
+            raise ValueError(f"amplitude must be non-negative, got {amplitude}")
+        if tau <= 0 or grid <= 0:
+            raise ValueError("tau and grid must be positive")
+        self.rng = rng
+        self.amplitude = amplitude
+        self.tau = tau
+        self.grid = grid
+        self._values = [0.0]  # deviation from mean, on the grid
+        # Exact OU discretisation constants.
+        self._decay = math.exp(-grid / tau)
+        self._diffusion = amplitude * math.sqrt(1.0 - self._decay**2)
+
+    def _extend_to(self, index: int) -> None:
+        values = self._values
+        while len(values) <= index:
+            step = self._decay * values[-1] + self._diffusion * self.rng.standard_normal()
+            values.append(step)
+
+    def value(self, t: float) -> float:
+        """Complexity multiplier at time ``t`` (mean 1, floored at 0.3)."""
+        if t < 0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        pos = t / self.grid
+        lo = int(pos)
+        self._extend_to(lo + 1)
+        frac = pos - lo
+        deviation = self._values[lo] * (1 - frac) + self._values[lo + 1] * frac
+        return max(0.3, 1.0 + deviation)

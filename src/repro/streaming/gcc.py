@@ -1,0 +1,221 @@
+"""The game-stream congestion controller (GCC family).
+
+Commercial game-streaming services descend from WebRTC's Google
+Congestion Control: a delay-based controller that backs the send rate
+off to a fraction of the measured receive rate when queuing delay
+signals overuse, a loss-based controller that decreases on loss spikes,
+and a multiplicative ramp when the path looks clear.  The per-system
+profiles (:mod:`repro.streaming.systems`) set the thresholds, backoff
+factors, cooldowns and ramp speeds that make Stadia aggressive, GeForce
+deferential, and Luna loss-averse.
+
+Reactions, in priority order on each feedback report:
+
+1. **Throughput tracking** -- if the receive rate falls well below the
+   target, the encoder is outrunning the path; clamp to the receive
+   rate (fast, small cooldown).
+2. **Delay backoff** -- triggered either by absolute queuing delay
+   above the per-system threshold, or by a *rising* delay trend (the
+   GCC trendline detector): persistently growing one-way delay means
+   this stream is overdriving the bottleneck.  The trend trigger is
+   what lets every service run just under a capacity cap with an empty
+   queue and near-zero loss (paper Table 3) -- a standing queue held by
+   a competitor produces no trend and is judged only against the
+   absolute threshold, which is where the per-system personalities
+   diverge.
+3. **Loss backoff** -- loss above ``loss_hi`` multiplies the target by
+   ``loss_backoff``, at most once per ``loss_cooldown``.
+
+Otherwise the target ramps at ``ramp_rate`` per second -- but only when
+smoothed loss is below ``loss_lo`` (the hold band of WebRTC's loss
+controller) -- scaled down by the decaying loss-memory term (Luna's
+collapsed recovery after a BBR episode).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.streaming.feedback import FeedbackReport
+from repro.streaming.systems import SystemProfile
+
+__all__ = ["GccController"]
+
+# Throughput tracking: clamp when the receive rate collapses below this
+# fraction of the target while the bottleneck queue is clearly occupied.
+_TRACK_FRACTION = 0.65
+_TRACK_QDELAY_FLOOR = 0.008
+_TRACK_COOLDOWN = 0.4
+# Minimum packets in a report for its rate/loss to be trusted.
+_MIN_SAMPLE_PACKETS = 20
+# EWMA factor per report for the smoothed loss signal (~2 s horizon).
+_LOSS_EWMA = 0.06
+# Loss-memory bump per loss backoff event.
+_MEMORY_BUMP = 0.15
+# Trend detector: queueing delay rising faster than this (s/s) while the
+# queue is non-trivially occupied counts as overuse.
+_SLOPE_THRESHOLD = 0.020
+_SLOPE_QDELAY_FLOOR = 0.003
+_SLOPE_EWMA = 0.5
+_SLOPE_SUSTAIN = 3  # consecutive rising reports before overuse registers
+# Capacity estimate: a decaying maximum of measured receive rates.  It
+# rises instantly to any new maximum and relaxes toward the current rate
+# with this time constant, so over a long contention episode the
+# remembered ceiling fades to the achieved share.
+_ESTIMATE_TAU = 45.0
+# Ramp scaling by distance below the capacity estimate: probing is
+# full-speed when far below the known ceiling (active contention) and
+# cautious when close to it (solo near-capacity operation, and recovery
+# -- the mechanism behind recovery being much slower than response).
+_RAMP_FLOOR = 0.35
+_RAMP_DISTANCE = 0.2
+
+
+class GccController:
+    """Server-side rate controller for one streaming session."""
+
+    def __init__(self, profile: SystemProfile):
+        self.profile = profile
+        self.target = profile.start_bitrate  # bits/second
+        self.smoothed_loss = 0.0
+        self.loss_memory = 0.0  # in [0, 1]; suppresses ramp when high
+        self.qdelay_slope = 0.0  # EWMA of d(qdelay)/dt, s/s
+        self.capacity_estimate: float | None = None  # bps, from backoffs
+        self._prev_qdelay = 0.0
+        self._rising_reports = 0
+        self._last_feedback = None  # time of previous report
+        self._last_delay_backoff = -math.inf
+        self._last_loss_backoff = -math.inf
+        self._last_track_clamp = -math.inf
+        # Event counters, exposed for analysis and tests.
+        self.delay_backoffs = 0
+        self.loss_backoffs = 0
+        self.track_clamps = 0
+
+    # ------------------------------------------------------------------
+    def on_feedback(self, report: FeedbackReport, now: float) -> float:
+        """Fold one feedback report in; returns the new target bitrate."""
+        profile = self.profile
+        dt = 0.0 if self._last_feedback is None else now - self._last_feedback
+        self._last_feedback = now
+
+        if dt > 0 and self.loss_memory > 0:
+            self.loss_memory *= math.exp(-dt / profile.loss_memory_tau)
+
+        trusted = report.expected >= _MIN_SAMPLE_PACKETS
+        loss = report.loss_fraction if trusted else 0.0
+        self.smoothed_loss += _LOSS_EWMA * (loss - self.smoothed_loss)
+        rate = report.receive_rate
+
+        if dt > 0:
+            slope = (report.qdelay_avg - self._prev_qdelay) / dt
+            self.qdelay_slope += _SLOPE_EWMA * (slope - self.qdelay_slope)
+            # Sustained-overuse counter (GCC requires overuse to persist
+            # before signalling): short oscillations -- e.g. a BBR
+            # competitor's ~130 ms gain cycle -- must not register.
+            if slope > _SLOPE_THRESHOLD and report.qdelay_avg > _SLOPE_QDELAY_FLOOR:
+                self._rising_reports += 1
+            else:
+                self._rising_reports = 0
+        self._prev_qdelay = report.qdelay_avg
+
+        acted = False
+        if trusted:
+            self._update_estimate(rate, dt)
+            acted = self._maybe_track(rate, report, now)
+            if not acted:
+                acted = self._maybe_delay_backoff(report, rate, now)
+            if not acted:
+                acted = self._maybe_loss_backoff(loss, rate, now)
+
+        if not acted and dt > 0 and self.smoothed_loss < profile.loss_lo:
+            ramp = profile.ramp_rate * (
+                1.0 - profile.loss_memory_penalty * self.loss_memory
+            )
+            # Fight mode: with congestion signals present (a competitor is
+            # on the link) probe at full speed to defend the share.
+            # Caution mode: on a quiet path approach the remembered
+            # ceiling slowly -- recovery is much slower than response.
+            contested = self.smoothed_loss > 0.3 * profile.loss_lo
+            if not contested:
+                ramp *= self._ramp_scale()
+            if ramp > 0:
+                self.target *= 1.0 + ramp * dt
+
+        self.target = min(max(self.target, profile.min_bitrate), profile.max_bitrate)
+        return self.target
+
+    # ------------------------------------------------------------------
+    def _update_estimate(self, rate: float, dt: float) -> None:
+        if rate <= 0:
+            return
+        if self.capacity_estimate is None or rate > self.capacity_estimate:
+            self.capacity_estimate = rate
+        elif dt > 0:
+            decay = 1.0 - math.exp(-dt / _ESTIMATE_TAU)
+            self.capacity_estimate += (rate - self.capacity_estimate) * decay
+
+    def _ramp_scale(self) -> float:
+        """Full-speed probing far below the known ceiling, cautious near it."""
+        est = self.capacity_estimate
+        if est is None or est <= 0:
+            return 1.0
+        scale = (est - self.target) / (_RAMP_DISTANCE * est)
+        return min(1.0, max(_RAMP_FLOOR, scale))
+
+    def _maybe_track(self, rate: float, report: FeedbackReport, now: float) -> bool:
+        if rate <= 0 or rate >= _TRACK_FRACTION * self.target:
+            return False
+        # A low rate reading without serious queueing is sampling noise
+        # (frame boundaries, a competitor's probe cycle), not a capacity
+        # collapse -- leave it to the delay/loss controllers.
+        if report.qdelay_avg <= _TRACK_QDELAY_FLOOR:
+            return False
+        if now - self._last_track_clamp < _TRACK_COOLDOWN:
+            return True  # still treat as acted: do not ramp into overload
+        self.target = rate
+        self._last_track_clamp = now
+        self.track_clamps += 1
+        return True
+
+    def _maybe_delay_backoff(self, report: FeedbackReport, rate: float, now: float) -> bool:
+        profile = self.profile
+        absolute = report.qdelay_avg > profile.delay_threshold
+        trending = (
+            self._rising_reports >= _SLOPE_SUSTAIN
+            and self.qdelay_slope > _SLOPE_THRESHOLD
+        )
+        if not absolute and not trending:
+            return False
+        if now - self._last_delay_backoff < profile.delay_cooldown:
+            return True  # overused: hold, do not ramp
+        if rate > 0:
+            self.target = min(self.target, profile.delay_backoff * rate)
+        else:
+            self.target *= profile.delay_backoff
+        self._last_delay_backoff = now
+        self.delay_backoffs += 1
+        return True
+
+    # Above this loss level, habituation is bypassed: always react.
+    _LOSS_CEILING = 0.08
+
+    def _maybe_loss_backoff(self, loss: float, rate: float, now: float) -> bool:
+        profile = self.profile
+        if loss < self._LOSS_CEILING:
+            # Habituate to the standing loss level: only the burst above
+            # the running baseline counts (see SystemProfile docs).
+            loss = max(0.0, loss - profile.loss_habituation * self.smoothed_loss)
+        if loss <= profile.loss_hi:
+            return False
+        if now - self._last_loss_backoff < profile.loss_cooldown:
+            # In cooldown: whether to keep ramping is the smoothed-loss
+            # gate's decision, not a per-report veto.
+            return False
+        factor = max(profile.loss_backoff, 1.0 - profile.loss_scale * loss)
+        self.target *= factor
+        self._last_loss_backoff = now
+        self.loss_backoffs += 1
+        if profile.loss_memory_penalty > 0:
+            self.loss_memory += (1.0 - self.loss_memory) * _MEMORY_BUMP
+        return True

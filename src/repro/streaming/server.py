@@ -1,0 +1,208 @@
+"""Game-streaming server: encode, packetise, pace, adapt.
+
+One instance is one cloud gaming session: a frame tick drives the
+encoder at the current adaptive frame rate, each frame is packetised
+into ~1200-byte media packets paced at a small headroom above the
+target bitrate (so keyframes do not burst the bottleneck queue), and
+feedback reports from the client drive the GCC-family controller and
+the per-system frame-rate policy.  NACKed packets are retransmitted
+from a short history buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import FEEDBACK, MEDIA, Packet
+from repro.streaming.encoder import Encoder
+from repro.streaming.feedback import FeedbackReport, MediaMeta
+from repro.streaming.frames import ComplexityProcess
+from repro.streaming.gcc import GccController
+from repro.streaming.systems import SystemProfile
+
+__all__ = ["GameStreamServer"]
+
+#: Pacing headroom over the target bitrate (amortises keyframes).
+_PACE_HEADROOM = 1.15
+#: Additive pacing margin so repair traffic drains even when the
+#: multiplicative headroom is small (low targets).
+_PACE_MARGIN = 0.8e6
+#: Floor on the pacing rate so a collapsed target still drains frames.
+_PACE_FLOOR = 2e6
+#: EWMA factor (per frame tick) of the retransmission-rate estimate.
+_RETX_EWMA = 0.05
+#: The encoder never gives up more than this fraction of the target to
+#: repair traffic.
+_RETX_BUDGET_CAP = 0.4
+#: How many packets of history are kept for NACK repair.
+_RETX_HISTORY = 6000
+
+
+class GameStreamServer:
+    """Streams one game session into ``path``.
+
+    Args:
+        sim: the event loop.
+        flow: flow id for all media packets.
+        profile: the system under test (Stadia/GeForce/Luna profile).
+        path: downstream sink toward the client.
+        rng: seeded per-run generator (complexity, encoder noise).
+        on_send: optional per-packet hook (stats registry).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: str,
+        profile: SystemProfile,
+        path,
+        rng: np.random.Generator,
+        on_send=None,
+    ):
+        self.sim = sim
+        self.flow = flow
+        self.profile = profile
+        self.path = path
+        self.on_send = on_send
+        self.controller = GccController(profile)
+        self.complexity = ComplexityProcess(
+            rng, amplitude=profile.complexity_amplitude
+        )
+        self.encoder = Encoder(profile, self.complexity, rng)
+
+        self.current_fps = profile.fps
+        self._seq = 0
+        self._retx_buffer: dict[int, tuple[int, MediaMeta]] = {}
+        self._pace_next = 0.0
+        self._retx_rate = 0.0  # bits/second spent on repairs (EWMA)
+        self._retx_bytes_tick = 0  # repair bytes since the last frame tick
+        self._running = False
+        self._frame_event = None
+
+        # Session statistics.
+        self.frames_sent = 0
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.retransmitted = 0
+        self.target_log: list[tuple[float, float]] = []  # (time, target bps)
+        self.fps_log: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin streaming."""
+        if self._running:
+            return
+        self._running = True
+        self._pace_next = self.sim.now
+        self._frame_tick()
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        if self._frame_event is not None:
+            self._frame_event.cancel()
+            self._frame_event = None
+
+    # ------------------------------------------------------------------
+    # Media generation
+    # ------------------------------------------------------------------
+    def _frame_tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        # Repair traffic is paid for out of the media budget (real-time
+        # stacks do the same): estimate the recent retransmission rate
+        # and encode below the controller target by that much, so total
+        # send stays on target and the pacer queue cannot build up.
+        tick = 1.0 / self.current_fps
+        retx_sample = self._retx_bytes_tick * 8.0 / tick
+        self._retx_bytes_tick = 0
+        self._retx_rate += _RETX_EWMA * (retx_sample - self._retx_rate)
+        target = self.controller.target
+        encoder_target = max(
+            target - self._retx_rate, (1.0 - _RETX_BUDGET_CAP) * target
+        )
+        frame = self.encoder.encode(now, encoder_target, self.current_fps)
+        self.frames_sent += 1
+        self._packetise(frame)
+        self._frame_event = self.sim.schedule(tick, self._frame_tick)
+
+    def _packetise(self, frame) -> None:
+        size = frame.size
+        psize = self.profile.packet_size
+        count = max(1, (size + psize - 1) // psize)
+        remaining = size
+        for index in range(count):
+            chunk = min(psize, remaining)
+            remaining -= chunk
+            meta = MediaMeta(frame.frame_id, index, count, keyframe=frame.keyframe)
+            self._pace_out(self._seq, chunk, meta)
+            self._seq += 1
+
+    def _pace_out(self, seq: int, size: int, meta: MediaMeta) -> None:
+        """Schedule one packet through the leaky-bucket pacer."""
+        self._retx_buffer[seq] = (size, meta)
+        # Sequence numbers are dense, so expiring exactly one entry per
+        # insertion keeps the buffer at the history size in O(1).
+        self._retx_buffer.pop(seq - _RETX_HISTORY, None)
+        self._schedule_send(seq, size, meta, retx=False)
+
+    def _schedule_send(self, seq: int, size: int, meta: MediaMeta, retx: bool) -> None:
+        now = self.sim.now
+        if retx:
+            self._retx_bytes_tick += size
+        target = self.controller.target
+        pace_rate = max(_PACE_HEADROOM * target, target + _PACE_MARGIN, _PACE_FLOOR)
+        at = max(now, self._pace_next)
+        self._pace_next = at + size * 8.0 / pace_rate
+        self.sim.schedule_at(at, self._emit, seq, size, meta, retx)
+
+    def _emit(self, seq: int, size: int, meta: MediaMeta, retx: bool) -> None:
+        if not self._running:
+            return
+        if retx:
+            meta = MediaMeta(meta.frame_id, meta.index, meta.count, retx=True,
+                             keyframe=meta.keyframe)
+        pkt = Packet(self.flow, seq, size, kind=MEDIA, sent_at=self.sim.now, meta=meta)
+        self.packets_sent += 1
+        self.bytes_sent += size
+        if self.on_send is not None:
+            self.on_send(pkt)
+        self.path.receive(pkt)
+
+    # ------------------------------------------------------------------
+    # Feedback handling
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet) -> None:
+        if pkt.kind != FEEDBACK or not self._running:
+            return
+        report = pkt.meta
+        if not isinstance(report, FeedbackReport):
+            return
+        now = self.sim.now
+        if not report.nack_only:
+            target = self.controller.on_feedback(report, now)
+            self.target_log.append((now, target))
+            self._update_fps(now)
+        for seq in report.nacks:
+            entry = self._retx_buffer.get(seq)
+            if entry is not None:
+                size, meta = entry
+                self.retransmitted += 1
+                self._schedule_send(seq, size, meta, retx=True)
+
+    def _update_fps(self, now: float) -> None:
+        profile = self.profile
+        loss = self.controller.smoothed_loss
+        fps = profile.fps
+        if loss > profile.fps_loss_severe:
+            fps = profile.fps_severe
+        elif loss > profile.fps_loss_mild:
+            fps = profile.fps_mild
+        if profile.fps_follows_rate and loss > profile.fps_loss_mild:
+            frac = self.controller.target / (profile.fps_rate_ref * profile.max_bitrate)
+            fps = min(fps, max(20.0, profile.fps * min(1.0, frac)))
+        self.current_fps = fps
+        self.fps_log.append((now, fps))

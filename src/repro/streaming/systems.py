@@ -1,0 +1,213 @@
+"""Per-system profiles: Stadia, GeForce Now, Luna.
+
+The paper treats each commercial service as a black box and measures its
+congestion behaviour.  We invert that: each service is a parameterisation
+of the same GCC-family controller (:mod:`repro.streaming.gcc`), and the
+parameters below are **calibrated** so the simulated services reproduce
+the paper's measurements.  They are the analogue of the fixed commercial
+binaries -- set once, then held constant across every experiment.
+
+Calibration anchors (see DESIGN.md section 3):
+
+- Table 1 steady-state bitrates: Stadia 27.5 (sd 2.3), GeForce 24.5
+  (sd 1.8), Luna 23.7 (sd 0.9) Mb/s -- sets ``max_bitrate`` and the
+  noise amplitudes.
+- Figure 3 fairness: Stadia's high delay tolerance makes it effectively
+  loss-driven (aggressive against Cubic, roughly fair against
+  loss-blind BBR); GeForce's low delay threshold makes it defer to
+  everyone, and BBR's standing queue keeps it permanently deferred;
+  Luna sits between on delay but reacts strongly to loss, so it shares
+  fairly with Cubic yet loses to BBR.
+- Figure 4 adaptiveness: ``ramp_rate`` sets recovery speed; Luna's
+  ``loss_memory_tau`` reproduces its collapsed recovery after a BBR
+  episode.
+- Table 5 frame rates: the ``fps_*`` policy fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SystemProfile", "STADIA", "GEFORCE", "LUNA", "SYSTEMS", "get_system"]
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Everything that distinguishes one game-streaming service.
+
+    Rates are bits/second, times are seconds, loss values are fractions.
+    """
+
+    name: str
+
+    # Encoder ladder.
+    max_bitrate: float  # top of the encoder ladder
+    min_bitrate: float  # floor the service never drops below
+    start_bitrate: float  # session-start target
+
+    # Delay-based congestion response.
+    delay_threshold: float  # queuing delay considered overuse
+    delay_backoff: float  # new target = backoff * receive rate
+    delay_cooldown: float  # min interval between delay backoffs
+
+    # Loss-based congestion response.  On a triggering report the target
+    # is multiplied by max(loss_backoff, 1 - loss_scale * loss): gentle
+    # for mild loss, bounded below by loss_backoff for heavy loss.
+    loss_hi: float  # loss fraction triggering a decrease
+    loss_lo: float  # smoothed loss below which ramping is allowed
+    loss_scale: float  # proportional decrease strength
+    loss_backoff: float  # floor on the multiplicative decrease
+    loss_cooldown: float  # min interval between loss backoffs
+    # Habituation: the loss level a report is judged against is reduced
+    # by this multiple of the running (smoothed) loss, so a *steady* loss
+    # level -- the signature of a loss-blind competitor like BBR, where
+    # yielding buys nothing -- stops triggering backoffs, while bursts
+    # above the baseline (Cubic's sawtooth peaks) still do.
+    loss_habituation: float
+
+    # Ramp-up / recovery.
+    ramp_rate: float  # fractional increase per second when clear
+    loss_memory_penalty: float  # 0 = none; 1 = full ramp suppression
+    loss_memory_tau: float  # seconds for loss memory to decay
+
+    # Media generation.
+    frame_noise: float  # lognormal sigma of per-frame size noise
+    complexity_amplitude: float  # scene-complexity (OU) amplitude
+
+    # Frame-rate adaptation policy.
+    fps_loss_mild: float  # smoothed loss where fps drops to fps_mild
+    fps_loss_severe: float  # smoothed loss where fps drops to fps_severe
+    fps_mild: float
+    fps_severe: float
+    fps_follows_rate: bool  # Luna: fps tracks bitrate fraction when lossy
+    fps_rate_ref: float  # fraction of max_bitrate that maps to 60 f/s
+
+    # Fixed media parameters (identical across services).
+    fps: float = 60.0
+    packet_size: int = 1200
+    keyframe_interval: float = 2.0
+    keyframe_scale: float = 2.5
+    feedback_interval: float = 0.1
+
+
+# ----------------------------------------------------------------------
+# Google Stadia: the aggressor.  Very high delay tolerance means its
+# behaviour is loss-driven; it backs off gently and ramps back fast.
+# Against Cubic (which halves on every loss) it takes more than its fair
+# share; against BBR (also loss-blind) it is forced toward parity; at
+# 7x-BDP queues a Cubic competitor drives delay past even Stadia's
+# threshold, explaining Figure 3's cool 7x cells.
+# ----------------------------------------------------------------------
+STADIA = SystemProfile(
+    name="stadia",
+    max_bitrate=28.4e6,
+    min_bitrate=4.0e6,
+    start_bitrate=14e6,
+    delay_threshold=0.065,
+    delay_backoff=0.94,
+    delay_cooldown=1.2,
+    loss_hi=0.010,
+    loss_lo=0.010,
+    loss_scale=3.0,
+    loss_backoff=0.85,
+    loss_cooldown=1.0,
+    loss_habituation=0.6,
+    ramp_rate=0.060,
+    loss_memory_penalty=0.0,
+    loss_memory_tau=30.0,
+    frame_noise=0.13,
+    complexity_amplitude=0.07,
+    fps_loss_mild=0.0015,
+    fps_loss_severe=0.006,
+    fps_mild=50.5,
+    fps_severe=40.0,
+    fps_follows_rate=False,
+    fps_rate_ref=0.45,
+)
+
+# ----------------------------------------------------------------------
+# NVidia GeForce Now: the deferrer.  A low delay threshold and strong
+# backoff make it yield to any queue-building competitor; its slow ramp
+# gives the paper's slow response/recovery.  BBR's standing queue keeps
+# its delay detector permanently triggered, hence the darker Figure 3
+# cells against BBR.  Frame rate is defended (quality per frame drops
+# instead), matching Table 5's resilient >50 f/s.
+# ----------------------------------------------------------------------
+GEFORCE = SystemProfile(
+    name="geforce",
+    max_bitrate=25.2e6,
+    min_bitrate=6.0e6,
+    start_bitrate=10e6,
+    delay_threshold=0.014,
+    delay_backoff=0.88,
+    delay_cooldown=2.0,
+    loss_hi=0.015,
+    loss_lo=0.008,
+    loss_scale=6.0,
+    loss_backoff=0.72,
+    loss_cooldown=0.8,
+    loss_habituation=0.5,
+    ramp_rate=0.055,
+    loss_memory_penalty=0.0,
+    loss_memory_tau=30.0,
+    frame_noise=0.20,
+    complexity_amplitude=0.10,
+    fps_loss_mild=0.010,
+    fps_loss_severe=0.040,
+    fps_mild=56.0,
+    fps_severe=52.0,
+    fps_follows_rate=False,
+    fps_rate_ref=0.45,
+)
+
+# ----------------------------------------------------------------------
+# Amazon Luna: fair but loss-averse.  Moderate delay sensitivity gives
+# near-fair sharing with Cubic; a strong loss backoff means the
+# loss-blind BBR starves it; the loss-memory ramp penalty reproduces its
+# collapsed recovery after a BBR episode (Figure 4b, and the paper's
+# "Luna never recovers from a competing TCP BBR flow ... at high
+# capacity").  Its small noise amplitudes give Table 1's tight sd.
+# ----------------------------------------------------------------------
+LUNA = SystemProfile(
+    name="luna",
+    max_bitrate=24.1e6,
+    min_bitrate=2.5e6,
+    start_bitrate=10e6,
+    delay_threshold=0.034,
+    delay_backoff=0.90,
+    delay_cooldown=2.0,
+    loss_hi=0.008,
+    loss_lo=0.004,
+    loss_scale=4.0,
+    loss_backoff=0.70,
+    loss_cooldown=0.7,
+    loss_habituation=0.4,
+    ramp_rate=0.085,
+    loss_memory_penalty=1.0,
+    loss_memory_tau=45.0,
+    frame_noise=0.06,
+    complexity_amplitude=0.035,
+    fps_loss_mild=0.004,
+    fps_loss_severe=0.015,
+    fps_mild=54.0,
+    fps_severe=42.0,
+    fps_follows_rate=True,
+    fps_rate_ref=0.45,
+)
+
+#: All systems, in the paper's presentation order.
+SYSTEMS: dict[str, SystemProfile] = {
+    "stadia": STADIA,
+    "geforce": GEFORCE,
+    "luna": LUNA,
+}
+
+
+def get_system(name: str) -> SystemProfile:
+    """Look up a system profile by name."""
+    try:
+        return SYSTEMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown game system {name!r}; options: {sorted(SYSTEMS)}"
+        ) from None

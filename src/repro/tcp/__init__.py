@@ -1,0 +1,64 @@
+"""From-scratch TCP senders with pluggable congestion control.
+
+The paper's competing traffic is an iperf bulk download over Linux 5.4
+TCP, with the congestion control algorithm switched between Cubic and
+BBR v1.  This package implements the transport machinery those kernels
+provide:
+
+- :mod:`repro.tcp.base` -- the sender: ACK-clocked transmission, optional
+  pacing, SACK-style loss detection (dup threshold 3), fast retransmit
+  with NewReno-style recovery, RTO (RFC 6298), and delivery-rate sampling
+  (the input BBR needs).
+- :mod:`repro.tcp.receiver` -- the ACK generator.
+- :mod:`repro.tcp.cubic` -- TCP Cubic (RFC 8312).
+- :mod:`repro.tcp.bbr` -- TCP BBR v1 (Cardwell et al., 2017).
+- :mod:`repro.tcp.reno` -- TCP NewReno AIMD (baseline).
+- :mod:`repro.tcp.vegas` -- TCP Vegas (delay-based; related-work ablation).
+"""
+
+from repro.tcp.base import CongestionControl, RateSample, TcpSender
+from repro.tcp.bbr import BbrCC
+from repro.tcp.cubic import CubicCC
+from repro.tcp.receiver import AckInfo, TcpReceiver
+from repro.tcp.reno import RenoCC
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.vegas import VegasCC
+from repro.tcp.windowed_filter import WindowedMaxFilter, WindowedMinFilter
+
+__all__ = [
+    "AckInfo",
+    "BbrCC",
+    "CongestionControl",
+    "CubicCC",
+    "RateSample",
+    "RenoCC",
+    "RttEstimator",
+    "TcpReceiver",
+    "TcpSender",
+    "VegasCC",
+    "WindowedMaxFilter",
+    "WindowedMinFilter",
+]
+
+#: Map of the names used in experiment configs to CCA factories.
+#: ``bbr_nocap`` removes BBR's 2xBDP inflight cap (cwnd gain 10) and
+#: exists only for the ablation that demonstrates the cap's effect on
+#: bottleneck queueing (paper Table 4, 7x-BDP column).
+CCA_REGISTRY = {
+    "cubic": CubicCC,
+    "bbr": BbrCC,
+    "reno": RenoCC,
+    "vegas": VegasCC,
+    "bbr_nocap": lambda: BbrCC(cwnd_gain=10.0),
+}
+
+
+def make_cca(name: str) -> CongestionControl:
+    """Instantiate a congestion control algorithm by config name."""
+    try:
+        factory = CCA_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion control {name!r}; options: {sorted(CCA_REGISTRY)}"
+        ) from None
+    return factory()

@@ -1,0 +1,468 @@
+"""TCP sender machinery shared by every congestion control algorithm.
+
+Implements the transport behaviours that shape the paper's competing
+iperf flow, independent of the congestion control algorithm:
+
+- ACK-clocked transmission with an optional pacing rate (BBR paces;
+  Cubic sends on ACK arrival).
+- SACK-style loss detection: the receiver effectively SACKs every
+  arriving segment, and a segment with three or more SACKed segments
+  above it is marked lost (dup threshold 3, FACK-style).
+- Fast retransmit with one congestion response per recovery episode
+  (NewReno semantics: the window is reduced once per round trip of
+  losses, not once per lost packet).
+- Retransmission timeout per RFC 6298 with go-back-N resynchronisation.
+- Per-segment delivery-rate sampling (the machinery behind Linux's
+  ``tcp_rate_gen``), which BBR consumes to estimate bottleneck bandwidth.
+
+Congestion control algorithms plug in through :class:`CongestionControl`
+and manipulate ``cwnd`` (segments), ``pacing_rate`` (bytes/second or
+None), and ``inflight_cap`` (segments or None -- BBR's 2xBDP cap).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.packet import DATA, Packet
+from repro.tcp.receiver import AckInfo
+from repro.tcp.rtt import RttEstimator
+
+__all__ = ["TcpSender", "CongestionControl", "RateSample", "SEGMENT_SIZE"]
+
+#: Wire size of a full data segment in bytes (1448 MSS + headers).
+SEGMENT_SIZE = 1500
+
+_DUP_THRESH = 3
+_INITIAL_CWND = 10.0  # RFC 6928
+
+
+class RateSample:
+    """Delivery-rate sample computed on each ACK (tcp_rate_gen analogue)."""
+
+    __slots__ = (
+        "delivery_rate",
+        "rtt",
+        "delivered",
+        "prior_delivered",
+        "interval",
+        "is_app_limited",
+    )
+
+    def __init__(
+        self,
+        delivery_rate: float,
+        rtt: float | None,
+        delivered: int,
+        prior_delivered: int,
+        interval: float,
+        is_app_limited: bool,
+    ):
+        self.delivery_rate = delivery_rate  # bytes per second
+        self.rtt = rtt  # seconds, None when Karn-excluded
+        self.delivered = delivered  # total bytes delivered so far
+        self.prior_delivered = prior_delivered  # delivered when seg was sent
+        self.interval = interval  # sampling interval, seconds
+        self.is_app_limited = is_app_limited
+
+
+class CongestionControl:
+    """Interface congestion control algorithms implement.
+
+    The sender calls these hooks; implementations adjust the sender's
+    ``cwnd``, ``pacing_rate`` and ``inflight_cap`` attributes directly.
+    """
+
+    name = "base"
+
+    def on_init(self, sender: "TcpSender") -> None:
+        """Called once when attached, before any transmission."""
+
+    def on_ack(self, sender: "TcpSender", acked: int, sample: RateSample) -> None:
+        """Called for every ACK that advances delivery state.
+
+        ``acked`` is the number of segments newly delivered (cumulative
+        plus newly SACKed).
+        """
+
+    def on_loss(self, sender: "TcpSender") -> None:
+        """Called once per recovery episode (fast retransmit)."""
+
+    def on_recovery_exit(self, sender: "TcpSender") -> None:
+        """Called when the recovery point is cumulatively ACKed."""
+
+    def on_rto(self, sender: "TcpSender") -> None:
+        """Called when the retransmission timer fires."""
+
+
+class _SegState:
+    """Bookkeeping for one outstanding segment."""
+
+    __slots__ = ("sent_at", "delivered", "delivered_time", "sacked", "lost", "retx")
+
+    def __init__(self, sent_at: float, delivered: int, delivered_time: float):
+        self.sent_at = sent_at
+        self.delivered = delivered
+        self.delivered_time = delivered_time
+        self.sacked = False
+        self.lost = False
+        self.retx = 0
+
+
+class TcpSender:
+    """A bulk TCP sender.
+
+    Args:
+        sim: event loop.
+        flow: flow id stamped on every packet.
+        path: downstream sink for data segments.
+        cca: congestion control algorithm instance.
+        segment_size: wire bytes per segment.
+        on_send: optional hook invoked with each transmitted packet
+            (used by the stats registry).
+        min_rto: RTO floor (Linux default 200 ms).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: str,
+        path,
+        cca: CongestionControl,
+        segment_size: int = SEGMENT_SIZE,
+        on_send: Callable[[Packet], None] | None = None,
+        min_rto: float = 0.2,
+    ):
+        self.sim = sim
+        self.flow = flow
+        self.path = path
+        self.cca = cca
+        self.segment_size = segment_size
+        self.on_send = on_send
+        self.rtt = RttEstimator(min_rto=min_rto)
+
+        # Window state (segments).
+        self.cwnd = _INITIAL_CWND
+        self.ssthresh = float("inf")
+        self.pacing_rate: float | None = None  # bytes/s
+        self.inflight_cap: float | None = None  # segments
+
+        # Sequence state.
+        self.snd_una = 0
+        self.snd_next = 0
+        self.pipe = 0  # segments believed in flight
+        self._segs: dict[int, _SegState] = {}
+        self._highest_sacked = 0
+        self._hole_scan = 0
+        self._retx_queue: list[int] = []
+
+        # Delivery accounting (tcp_rate_gen).
+        self.delivered = 0  # bytes
+        self.delivered_time = 0.0
+        self.app_limited = False
+
+        # Recovery / timers.
+        self.in_recovery = False
+        self.recovery_point = 0
+        self._rto_event: Event | None = None
+        self._rto_backoff = 1.0
+        self._pace_event: Event | None = None
+        self._next_send_time = 0.0
+
+        # Lifecycle / stats.
+        self.running = False
+        self.segments_sent = 0
+        self.retransmits = 0
+        self.loss_events = 0
+        self.rto_events = 0
+        self.start_time: float | None = None
+        self.stop_time: float | None = None
+
+        cca.on_init(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the bulk transfer."""
+        if self.running:
+            return
+        self.running = True
+        self.start_time = self.sim.now
+        self.delivered_time = self.sim.now
+        self._pump()
+
+    def stop(self) -> None:
+        """Halt transmission (the paper stops iperf at 370 s)."""
+        if not self.running:
+            return
+        self.running = False
+        self.stop_time = self.sim.now
+        self._cancel_rto()
+        if self._pace_event is not None:
+            self._pace_event.cancel()
+            self._pace_event = None
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    @property
+    def _send_quota(self) -> float:
+        quota = self.cwnd - self.pipe
+        if self.inflight_cap is not None:
+            quota = min(quota, self.inflight_cap - self.pipe)
+        return quota
+
+    def _pump(self) -> None:
+        """Send whatever the window (and pacing) allows."""
+        if not self.running:
+            return
+        if self.pacing_rate is None:
+            while self._send_quota >= 1.0 and self._transmit_next():
+                pass
+        else:
+            self._paced_pump()
+
+    def _paced_pump(self) -> None:
+        if not self.running or self._send_quota < 1.0:
+            return
+        now = self.sim.now
+        if now < self._next_send_time:
+            self._arm_pacer(self._next_send_time - now)
+            return
+        if not self._transmit_next():
+            return
+        gap = self.segment_size / self.pacing_rate
+        base = max(self._next_send_time, now - 4 * gap)  # bounded catch-up burst
+        self._next_send_time = base + gap
+        if self._send_quota >= 1.0:
+            self._arm_pacer(max(0.0, self._next_send_time - now))
+
+    def _arm_pacer(self, delay: float) -> None:
+        if self._pace_event is not None:
+            self._pace_event.cancel()
+        self._pace_event = self.sim.schedule(delay, self._pace_tick)
+
+    def _pace_tick(self) -> None:
+        self._pace_event = None
+        self._paced_pump()
+
+    def _transmit_next(self) -> bool:
+        """Send one segment: a queued retransmission, else new data."""
+        while self._retx_queue:
+            seq = self._retx_queue.pop(0)
+            seg = self._segs.get(seq)
+            if seg is None or seg.sacked or seq < self.snd_una:
+                continue  # delivered in the meantime
+            self._send_segment(seq, seg, retx=True)
+            return True
+        return self._send_new()
+
+    def _send_new(self) -> bool:
+        seq = self.snd_next
+        seg = _SegState(self.sim.now, self.delivered, self.delivered_time)
+        self._segs[seq] = seg
+        self.snd_next += 1
+        self._send_segment(seq, seg, retx=False)
+        return True
+
+    def _send_segment(self, seq: int, seg: _SegState, retx: bool) -> None:
+        now = self.sim.now
+        seg.sent_at = now
+        seg.delivered = self.delivered
+        seg.delivered_time = self.delivered_time
+        if retx:
+            seg.retx += 1
+            seg.lost = False
+            self.retransmits += 1
+        pkt = Packet(
+            self.flow,
+            seq,
+            self.segment_size,
+            kind=DATA,
+            sent_at=now,
+            meta={"retx": retx} if retx else None,
+        )
+        self.pipe += 1
+        self.segments_sent += 1
+        if self.on_send is not None:
+            self.on_send(pkt)
+        self.path.receive(pkt)
+        if self._rto_event is None:
+            self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet) -> None:
+        """Entry point for ACK packets returning from the receiver."""
+        info = pkt.meta
+        if not isinstance(info, AckInfo):
+            return
+        now = self.sim.now
+        newly_delivered = 0
+        rtt_sample: float | None = None
+        rate_seg: _SegState | None = None
+
+        # SACK the triggering segment.
+        seg = self._segs.get(info.sacked_seq)
+        if seg is not None and info.sacked_seq >= info.ack and not seg.sacked:
+            seg.sacked = True
+            if not seg.lost or seg.retx:
+                self.pipe -= 1
+            newly_delivered += 1
+            rate_seg = seg
+            if info.sacked_seq > self._highest_sacked:
+                self._highest_sacked = info.sacked_seq
+
+        # Cumulative advance.
+        if info.ack > self.snd_una:
+            for seq in range(self.snd_una, info.ack):
+                acked_seg = self._segs.pop(seq, None)
+                if acked_seg is None:
+                    continue
+                if not acked_seg.sacked:
+                    if not acked_seg.lost or acked_seg.retx:
+                        self.pipe -= 1
+                    newly_delivered += 1
+                    rate_seg = acked_seg
+            self.snd_una = info.ack
+            self._rto_backoff = 1.0
+            self._arm_rto()  # restart on forward progress (RFC 6298 5.3)
+            if self._hole_scan < self.snd_una:
+                self._hole_scan = self.snd_una
+            if self._highest_sacked < self.snd_una:
+                self._highest_sacked = self.snd_una
+
+        if self.pipe < 0:
+            self.pipe = 0
+
+        # RTT sample (Karn: skip echoes of retransmitted copies).
+        if not info.is_retransmit_echo and info.ts_echo > 0:
+            rtt_sample = now - info.ts_echo
+            if rtt_sample > 0:
+                self.rtt.update(rtt_sample)
+            else:
+                rtt_sample = None
+
+        if newly_delivered:
+            self.delivered += newly_delivered * self.segment_size
+            self.delivered_time = now
+
+        # Recovery bookkeeping.
+        if self.in_recovery and self.snd_una >= self.recovery_point:
+            self.in_recovery = False
+            self.cca.on_recovery_exit(self)
+        self._detect_losses()
+        self._check_head_of_line(now)
+
+        if newly_delivered and rate_seg is not None:
+            interval = max(now - rate_seg.delivered_time, 1e-9)
+            sample = RateSample(
+                delivery_rate=(self.delivered - rate_seg.delivered) / interval,
+                rtt=rtt_sample,
+                delivered=self.delivered,
+                prior_delivered=rate_seg.delivered,
+                interval=interval,
+                is_app_limited=self.app_limited,
+            )
+            self.cca.on_ack(self, newly_delivered, sample)
+
+        if self.pipe == 0 and not self._retx_queue and self.snd_una == self.snd_next:
+            self._cancel_rto()
+        elif self._rto_event is None:
+            self._arm_rto()
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Loss detection and recovery
+    # ------------------------------------------------------------------
+    def _detect_losses(self) -> None:
+        """FACK-style: segments >=3 below the highest SACK are lost."""
+        limit = self._highest_sacked - (_DUP_THRESH - 1)
+        if self._hole_scan >= limit:
+            return
+        found = False
+        for seq in range(max(self._hole_scan, self.snd_una), limit):
+            seg = self._segs.get(seq)
+            if seg is not None and not seg.sacked and not seg.lost and not seg.retx:
+                seg.lost = True
+                self.pipe -= 1
+                self._retx_queue.append(seq)
+                found = True
+        self._hole_scan = limit
+        if self.pipe < 0:
+            self.pipe = 0
+        if found and not self.in_recovery:
+            self.in_recovery = True
+            self.recovery_point = self.snd_next
+            self.loss_events += 1
+            self.cca.on_loss(self)
+
+    def _check_head_of_line(self, now: float) -> None:
+        """RACK-style rescue for a retransmission that was itself lost.
+
+        ``_detect_losses`` never re-marks a segment that was already
+        retransmitted, so if the retransmission is dropped the hole at
+        ``snd_una`` would otherwise sit until the RTO.  When SACKs keep
+        arriving well past one RTT after the retransmission, declare the
+        retransmitted copy lost and send it again.
+        """
+        seg = self._segs.get(self.snd_una)
+        if seg is None or not seg.retx or seg.lost or seg.sacked:
+            return
+        if self._highest_sacked <= self.snd_una:
+            return
+        srtt = self.rtt.srtt or 0.1
+        if now - seg.sent_at > 1.5 * srtt:
+            seg.lost = True
+            self.pipe -= 1
+            if self.pipe < 0:
+                self.pipe = 0
+            self._retx_queue.insert(0, self.snd_una)
+
+    # ------------------------------------------------------------------
+    # RTO
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        self._rto_event = self.sim.schedule(
+            self.rtt.rto * self._rto_backoff, self._on_rto
+        )
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        """Timeout: collapse and resynchronise (go-back-N)."""
+        self._rto_event = None
+        if not self.running or self.pipe == 0:
+            return
+        self.rto_events += 1
+        self._rto_backoff = min(self._rto_backoff * 2, 64.0)
+        self._segs.clear()
+        self._retx_queue.clear()
+        self.snd_next = self.snd_una
+        self.pipe = 0
+        self._highest_sacked = self.snd_una
+        self._hole_scan = self.snd_una
+        self.in_recovery = False
+        self._next_send_time = 0.0
+        self.cca.on_rto(self)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_acked(self) -> int:
+        """Cumulative bytes delivered to the receiver."""
+        return self.delivered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TcpSender {self.flow} {self.cca.name} cwnd={self.cwnd:.1f} "
+            f"pipe={self.pipe} una={self.snd_una} next={self.snd_next}>"
+        )

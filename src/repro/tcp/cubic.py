@@ -1,0 +1,111 @@
+"""TCP Cubic congestion control (RFC 8312; Ha, Rhee & Xu 2008).
+
+Cubic grows the window as a cubic function of time since the last
+congestion event, anchored at the window size where loss occurred
+(``W_max``): concave approach, plateau, then convex probing.  It is the
+Linux default (the paper's iperf host runs kernel 5.4) and its
+loss-driven sawtooth against the drop-tail bottleneck queue is what
+produces the paper's RTT inflation in Table 4.
+
+Implemented features: cubic window growth with ``C = 0.4``,
+multiplicative decrease ``beta = 0.7``, fast convergence, the
+TCP-friendly (Reno-tracking) region, standard slow start, and RTO
+collapse to one segment.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.base import CongestionControl, RateSample, TcpSender
+
+__all__ = ["CubicCC"]
+
+_C = 0.4  # cubic scaling constant (segments/s^3)
+_BETA = 0.7  # multiplicative decrease factor
+_MIN_CWND = 2.0
+
+
+class CubicCC(CongestionControl):
+    """RFC 8312 Cubic."""
+
+    name = "cubic"
+
+    def __init__(self, fast_convergence: bool = True):
+        self.fast_convergence = fast_convergence
+        self.w_max = 0.0
+        self.k = 0.0
+        self.epoch_start: float | None = None
+        self.cwnd_epoch = 0.0
+        self._ack_count = 0.0
+        self._w_est = 0.0
+
+    # ------------------------------------------------------------------
+    def on_init(self, sender: TcpSender) -> None:
+        sender.pacing_rate = None  # ACK-clocked, like the kernel default
+        self._reset_epoch()
+
+    def _reset_epoch(self) -> None:
+        self.epoch_start = None
+        self._ack_count = 0.0
+
+    # ------------------------------------------------------------------
+    def on_ack(self, sender: TcpSender, acked: int, sample: RateSample) -> None:
+        if sender.in_recovery:
+            return
+        if sender.cwnd < sender.ssthresh:
+            sender.cwnd += acked  # slow start
+            return
+        self._congestion_avoidance(sender, acked, sample)
+
+    def _congestion_avoidance(
+        self, sender: TcpSender, acked: int, sample: RateSample
+    ) -> None:
+        now = sender.sim.now
+        rtt = sender.rtt.srtt or sample.rtt or 0.1
+        if self.epoch_start is None:
+            self.epoch_start = now
+            self.cwnd_epoch = sender.cwnd
+            if self.w_max > sender.cwnd:
+                self.k = ((self.w_max - sender.cwnd) / _C) ** (1.0 / 3.0)
+            else:
+                self.k = 0.0
+                self.w_max = sender.cwnd
+            self._ack_count = 0.0
+            self._w_est = sender.cwnd
+
+        t = now - self.epoch_start
+        target = self._w_cubic(t + rtt)
+        cwnd = sender.cwnd
+
+        # TCP-friendly region (RFC 8312 section 4.2).
+        self._ack_count += acked
+        self._w_est = self.cwnd_epoch + (
+            3.0 * (1.0 - _BETA) / (1.0 + _BETA)
+        ) * (self._ack_count / max(cwnd, 1.0))
+        if self._w_est > target:
+            target = self._w_est
+
+        if target > cwnd:
+            cwnd += (target - cwnd) / cwnd * acked
+        else:
+            cwnd += acked / (100.0 * cwnd)  # minimal growth, per RFC
+        sender.cwnd = cwnd
+
+    def _w_cubic(self, t: float) -> float:
+        return _C * (t - self.k) ** 3 + self.w_max
+
+    # ------------------------------------------------------------------
+    def on_loss(self, sender: TcpSender) -> None:
+        cwnd = sender.cwnd
+        if self.fast_convergence and cwnd < self.w_max:
+            self.w_max = cwnd * (1.0 + _BETA) / 2.0
+        else:
+            self.w_max = cwnd
+        sender.cwnd = max(cwnd * _BETA, _MIN_CWND)
+        sender.ssthresh = sender.cwnd
+        self._reset_epoch()
+
+    def on_rto(self, sender: TcpSender) -> None:
+        self.w_max = sender.cwnd
+        sender.ssthresh = max(sender.cwnd * _BETA, _MIN_CWND)
+        sender.cwnd = 1.0
+        self._reset_epoch()

@@ -1,0 +1,83 @@
+"""TCP receiver: reassembly state and ACK generation.
+
+The receiver tracks the cumulative in-order point and the set of
+out-of-order segments, and emits one ACK per arriving data segment
+(Linux quick-ACKs during loss recovery and our senders are ACK-clocked,
+so per-segment ACKs keep the dynamics right while staying simple).
+
+Each ACK carries an :class:`AckInfo` with the cumulative ACK, the
+sequence number of the segment that triggered it (equivalent to the
+first SACK block edge -- enough for dup-threshold loss detection), and
+the segment's original transmit timestamp for RTT sampling.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import ACK, Packet
+
+__all__ = ["AckInfo", "TcpReceiver", "ACK_SIZE"]
+
+#: Bytes on the wire for a pure ACK (IP + TCP headers + options).
+ACK_SIZE = 64
+
+
+class AckInfo:
+    """Payload of an ACK packet."""
+
+    __slots__ = ("ack", "sacked_seq", "ts_echo", "is_retransmit_echo")
+
+    def __init__(self, ack: int, sacked_seq: int, ts_echo: float, is_retransmit_echo: bool):
+        self.ack = ack  # next expected segment (cumulative)
+        self.sacked_seq = sacked_seq  # segment that triggered this ACK
+        self.ts_echo = ts_echo  # that segment's transmit time
+        self.is_retransmit_echo = is_retransmit_echo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AckInfo ack={self.ack} sacked={self.sacked_seq}>"
+
+
+class TcpReceiver:
+    """Receives data segments; sends ACKs back through ``ack_path``."""
+
+    def __init__(self, sim: Simulator, flow: str, ack_path):
+        self.sim = sim
+        self.flow = flow
+        self.ack_path = ack_path
+        self.rcv_next = 0  # cumulative: all segments < rcv_next received
+        self._out_of_order: set[int] = set()
+        self.segments_received = 0
+        self.bytes_received = 0
+        self.duplicate_segments = 0
+        self.acks_sent = 0
+
+    def receive(self, pkt: Packet) -> None:
+        seq = pkt.seq
+        self.segments_received += 1
+        self.bytes_received += pkt.size
+        if seq < self.rcv_next or seq in self._out_of_order:
+            self.duplicate_segments += 1
+        elif seq == self.rcv_next:
+            self.rcv_next += 1
+            # Absorb any out-of-order run now contiguous.
+            ooo = self._out_of_order
+            while self.rcv_next in ooo:
+                ooo.discard(self.rcv_next)
+                self.rcv_next += 1
+        else:
+            self._out_of_order.add(seq)
+        self._send_ack(pkt)
+
+    def _send_ack(self, data_pkt: Packet) -> None:
+        is_retx = bool(data_pkt.meta and data_pkt.meta.get("retx"))
+        info = AckInfo(
+            ack=self.rcv_next,
+            sacked_seq=data_pkt.seq,
+            ts_echo=data_pkt.sent_at,
+            is_retransmit_echo=is_retx,
+        )
+        ack_pkt = Packet(
+            self.flow, self.acks_sent, ACK_SIZE, kind=ACK, sent_at=self.sim.now, meta=info
+        )
+        self.acks_sent += 1
+        self.ack_path.receive(ack_pkt)

@@ -1,0 +1,40 @@
+"""TCP NewReno congestion control (RFC 5681/6582).
+
+The classic AIMD baseline: slow start, +1 segment per RTT in congestion
+avoidance, halve on loss.  Not used in the paper's headline experiments
+but kept as the reference the Cubic implementation's "TCP-friendly
+region" tracks, and as a sanity baseline in the TCP-only benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.base import CongestionControl, RateSample, TcpSender
+
+__all__ = ["RenoCC"]
+
+_MIN_CWND = 2.0
+
+
+class RenoCC(CongestionControl):
+    """NewReno AIMD."""
+
+    name = "reno"
+
+    def on_init(self, sender: TcpSender) -> None:
+        sender.pacing_rate = None
+
+    def on_ack(self, sender: TcpSender, acked: int, sample: RateSample) -> None:
+        if sender.in_recovery:
+            return
+        if sender.cwnd < sender.ssthresh:
+            sender.cwnd += acked
+        else:
+            sender.cwnd += acked / sender.cwnd
+
+    def on_loss(self, sender: TcpSender) -> None:
+        sender.ssthresh = max(sender.cwnd / 2.0, _MIN_CWND)
+        sender.cwnd = sender.ssthresh
+
+    def on_rto(self, sender: TcpSender) -> None:
+        sender.ssthresh = max(sender.cwnd / 2.0, _MIN_CWND)
+        sender.cwnd = 1.0

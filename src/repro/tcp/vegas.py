@@ -1,0 +1,84 @@
+"""TCP Vegas congestion control (Brakmo & Peterson, 1994).
+
+Delay-based: compares expected throughput (cwnd / base RTT) with actual
+throughput (cwnd / current RTT) and nudges the window so that between
+``alpha`` and ``beta`` segments worth of data sit queued at the
+bottleneck.  Included because the paper's related work (Turkovic et al.)
+uses Vegas as the representative delay-based algorithm, and our ablation
+benchmarks reproduce that three-way comparison against the game streams.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.base import CongestionControl, RateSample, TcpSender
+
+__all__ = ["VegasCC"]
+
+_ALPHA = 2.0  # lower bound on queued segments
+_BETA = 4.0  # upper bound on queued segments
+_GAMMA = 1.0  # slow-start exit threshold
+_MIN_CWND = 2.0
+
+
+class VegasCC(CongestionControl):
+    """TCP Vegas."""
+
+    name = "vegas"
+
+    def __init__(self) -> None:
+        self.base_rtt: float | None = None
+        self._rtt_sum = 0.0
+        self._rtt_count = 0
+        self._next_adjust_delivered = 0
+        self._slow_start = True
+
+    def on_init(self, sender: TcpSender) -> None:
+        sender.pacing_rate = None
+
+    def on_ack(self, sender: TcpSender, acked: int, sample: RateSample) -> None:
+        if sender.in_recovery:
+            return
+        if sample.rtt is not None:
+            if self.base_rtt is None or sample.rtt < self.base_rtt:
+                self.base_rtt = sample.rtt
+            self._rtt_sum += sample.rtt
+            self._rtt_count += 1
+
+        # Adjust once per round trip, using the mean RTT of the round.
+        if sample.prior_delivered < self._next_adjust_delivered:
+            return
+        self._next_adjust_delivered = sample.delivered
+        if self._rtt_count == 0 or self.base_rtt is None:
+            return
+        rtt = self._rtt_sum / self._rtt_count
+        self._rtt_sum = 0.0
+        self._rtt_count = 0
+
+        cwnd = sender.cwnd
+        expected = cwnd / self.base_rtt  # segments/s
+        actual = cwnd / rtt
+        diff = (expected - actual) * self.base_rtt  # segments queued
+
+        if self._slow_start:
+            if diff > _GAMMA:
+                self._slow_start = False
+                sender.cwnd = max(cwnd - diff, _MIN_CWND)
+                sender.ssthresh = sender.cwnd
+            else:
+                sender.cwnd = cwnd + 1  # Vegas: double every *other* RTT
+            return
+
+        if diff < _ALPHA:
+            sender.cwnd = cwnd + 1.0
+        elif diff > _BETA:
+            sender.cwnd = max(cwnd - 1.0, _MIN_CWND)
+
+    def on_loss(self, sender: TcpSender) -> None:
+        sender.cwnd = max(sender.cwnd * 0.75, _MIN_CWND)
+        sender.ssthresh = sender.cwnd
+        self._slow_start = False
+
+    def on_rto(self, sender: TcpSender) -> None:
+        sender.ssthresh = max(sender.cwnd / 2.0, _MIN_CWND)
+        sender.cwnd = _MIN_CWND
+        self._slow_start = False

@@ -1,0 +1,102 @@
+"""Time-windowed min/max filters.
+
+BBR models the path with two windowed estimates: the maximum delivery
+rate over the last ~10 round trips and the minimum RTT over the last
+10 seconds.  This module implements the same structure the Linux kernel
+uses (``lib/win_minmax.c``): three timestamped samples -- best, second
+best, third best -- updated so the window can slide in O(1) per update
+without storing every sample.
+"""
+
+from __future__ import annotations
+
+__all__ = ["WindowedMaxFilter", "WindowedMinFilter"]
+
+
+class _Sample:
+    __slots__ = ("t", "v")
+
+    def __init__(self, t: float, v: float):
+        self.t = t
+        self.v = v
+
+
+class _WindowedFilter:
+    """Kernel-style min/max estimator over a sliding time window."""
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._s: list[_Sample] = []
+
+    def _better(self, a: float, b: float) -> bool:
+        raise NotImplementedError
+
+    @property
+    def value(self) -> float | None:
+        """Current estimate, or None before the first update."""
+        if not self._s:
+            return None
+        return self._s[0].v
+
+    def reset(self, t: float, v: float) -> None:
+        sample = _Sample(t, v)
+        self._s = [sample, sample, sample]
+
+    def update(self, t: float, v: float) -> float:
+        """Add a sample at time ``t``; returns the new windowed estimate."""
+        s = self._s
+        if not s or self._better(v, s[0].v) or t - s[2].t > self.window:
+            # New best, or the window has wholly expired.
+            self.reset(t, v)
+            return v
+
+        if self._better(v, s[1].v):
+            s[1] = _Sample(t, v)
+            s[2] = s[1]
+        elif self._better(v, s[2].v):
+            s[2] = _Sample(t, v)
+
+        # Expire old best estimates as the window slides.
+        if t - s[0].t > self.window:
+            s[0] = s[1]
+            s[1] = s[2]
+            s[2] = _Sample(t, v)
+            if t - s[0].t > self.window:
+                s[0] = s[1]
+                s[1] = s[2]
+            return s[0].v
+
+        # Refresh ages so long quiet periods don't starve the backups.
+        if s[1].t == s[0].t and t - s[1].t > self.window / 4:
+            s[1] = _Sample(t, v)
+            s[2] = s[1]
+        elif s[2].t == s[1].t and t - s[2].t > self.window / 2:
+            s[2] = _Sample(t, v)
+        return s[0].v
+
+    @property
+    def age(self) -> float | None:
+        """Age basis of the best sample (its timestamp), None when empty."""
+        if not self._s:
+            return None
+        return self._s[0].t
+
+
+class WindowedMaxFilter(_WindowedFilter):
+    """Running maximum over a sliding time window (BBR's bandwidth filter).
+
+    The window is expressed in whatever units the caller timestamps with --
+    BBR uses round-trip counts for bandwidth.
+    """
+
+    def _better(self, a: float, b: float) -> bool:
+        return a >= b
+
+
+class WindowedMinFilter(_WindowedFilter):
+    """Running minimum over a sliding time window (BBR's min-RTT filter)."""
+
+    def _better(self, a: float, b: float) -> bool:
+        return a <= b

@@ -1,0 +1,51 @@
+"""The iperf bulk-download competitor.
+
+In the paper an iperf client bulk-downloads from an iperf server over
+TCP (Cubic or BBR) for the middle three minutes of each nine-minute
+run.  :class:`IperfFlow` bundles our TCP sender/receiver pair with
+scheduled start/stop times.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.tcp import TcpSender, make_cca
+from repro.tcp.receiver import TcpReceiver
+
+__all__ = ["IperfFlow"]
+
+
+class IperfFlow:
+    """A bulk TCP download with a scheduled lifetime.
+
+    Wire the flow's sender output into the downlink path and give the
+    receiver's ACK stream the uplink path; then call :meth:`schedule`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: str,
+        cca: str,
+        downlink_path,
+        uplink_path,
+        on_send=None,
+    ):
+        self.sim = sim
+        self.flow = flow
+        self.cca_name = cca
+        self.receiver = TcpReceiver(sim, flow, ack_path=uplink_path)
+        self.sender = TcpSender(
+            sim, flow, path=downlink_path, cca=make_cca(cca), on_send=on_send
+        )
+
+    def schedule(self, start: float, stop: float) -> None:
+        """Start the bulk download at ``start``, stop it at ``stop``."""
+        if stop <= start:
+            raise ValueError("stop must be after start")
+        self.sim.schedule_at(start, self.sender.start)
+        self.sim.schedule_at(stop, self.sender.stop)
+
+    @property
+    def bytes_delivered(self) -> int:
+        return self.sender.delivered

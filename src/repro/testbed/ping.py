@@ -1,0 +1,94 @@
+"""Round-trip-time probing (the paper's ``ping`` to the game server).
+
+A small echo request travels the uplink to the game server; the reply
+returns through the same bottleneck queue the game stream uses, so the
+measured RTT includes bottleneck queuing exactly as in the testbed.
+Tables 3 and 4 are built from these samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import PING, PONG, Packet
+
+__all__ = ["PingProber", "PingReflector"]
+
+_PROBE_SIZE = 64
+
+
+class PingReflector:
+    """Server-side echo: turns a PING into a PONG on the downlink."""
+
+    def __init__(self, downlink_path):
+        self.downlink_path = downlink_path
+
+    def receive(self, pkt: Packet) -> None:
+        if pkt.kind != PING:
+            return
+        reply = Packet(
+            pkt.flow, pkt.seq, _PROBE_SIZE, kind=PONG, sent_at=pkt.sent_at, meta=pkt.meta
+        )
+        self.downlink_path.receive(reply)
+
+
+class PingProber:
+    """Client-side prober: periodic echo requests, RTT sample log."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: str,
+        uplink_path,
+        interval: float = 0.2,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.flow = flow
+        self.uplink_path = uplink_path
+        self.interval = interval
+        self.samples: list[tuple[float, float]] = []  # (send time, rtt)
+        self._seq = 0
+        self._outstanding: dict[int, float] = {}
+        self._running = False
+        self._event = None
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        pkt = Packet(self.flow, self._seq, _PROBE_SIZE, kind=PING, sent_at=now)
+        self._outstanding[self._seq] = now
+        self._seq += 1
+        self.uplink_path.receive(pkt)
+        self._event = self.sim.schedule(self.interval, self._tick)
+
+    def receive(self, pkt: Packet) -> None:
+        if pkt.kind != PONG:
+            return
+        sent = self._outstanding.pop(pkt.seq, None)
+        if sent is not None:
+            self.samples.append((sent, self.sim.now - sent))
+
+    # ------------------------------------------------------------------
+    def rtts_in_window(self, t_start: float, t_end: float) -> np.ndarray:
+        """RTT samples whose probes were sent within [t_start, t_end)."""
+        return np.asarray(
+            [rtt for sent, rtt in self.samples if t_start <= sent < t_end]
+        )

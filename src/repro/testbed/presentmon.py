@@ -1,0 +1,48 @@
+"""PresentMon-style frame presentation logging.
+
+The paper runs Intel's PresentMon on the game client to record the
+display frame rate.  Our client records the presentation time of every
+completed frame; this module turns that log into the windowed frame
+rates Table 5 reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PresentMonLog"]
+
+
+class PresentMonLog:
+    """Windowed frame-rate statistics over a presentation-time log."""
+
+    def __init__(self, display_times: list[float]):
+        self.display_times = display_times
+
+    def mean_fps(self, t_start: float, t_end: float) -> float:
+        """Average presented frames per second over [t_start, t_end)."""
+        if t_end <= t_start:
+            raise ValueError("t_end must be after t_start")
+        times = np.asarray(self.display_times)
+        if len(times) == 0:
+            return 0.0
+        shown = int(((times >= t_start) & (times < t_end)).sum())
+        return shown / (t_end - t_start)
+
+    def fps_series(
+        self, t_start: float, t_end: float, bin_width: float = 1.0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-bin frame rates: returns (bin_centres, fps)."""
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        edges = np.arange(t_start, t_end + bin_width / 2, bin_width)
+        if len(edges) < 2:
+            raise ValueError("window shorter than one bin")
+        times = np.asarray(self.display_times)
+        counts, _ = (
+            np.histogram(times, bins=edges)
+            if len(times)
+            else (np.zeros(len(edges) - 1), edges)
+        )
+        centres = (edges[:-1] + edges[1:]) / 2
+        return centres, counts / bin_width

@@ -1,0 +1,100 @@
+"""``tc`` configuration: BDP math, queue sizing, command rendering.
+
+The paper configures its Raspberry Pi router with ``tc netem`` (delay)
+and ``tc tbf`` (rate + burst + limit), sizing the bottleneck queue as a
+multiple (0.5x, 2x, 7x) of the bandwidth-delay product at a 16.5 ms
+round-trip time.  This module holds that arithmetic plus a renderer for
+the equivalent real-world commands (useful for documentation and for
+checking our parameters against the paper's examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "RouterConfig",
+    "bdp_bytes",
+    "queue_limit_bytes",
+    "render_tc_script",
+    "TARGET_RTT",
+]
+
+#: The equalised round-trip time the paper targets for every flow (s).
+TARGET_RTT = 0.0165
+
+#: Minimum queue: room for at least two full-size packets.
+_MIN_QUEUE_BYTES = 3000
+
+
+def bdp_bytes(rate_bps: float, rtt: float = TARGET_RTT) -> float:
+    """Bandwidth-delay product in bytes."""
+    if rate_bps <= 0 or rtt <= 0:
+        raise ValueError("rate_bps and rtt must be positive")
+    return rate_bps * rtt / 8.0
+
+
+def queue_limit_bytes(
+    rate_bps: float, queue_mult: float, rtt: float = TARGET_RTT
+) -> int:
+    """Bottleneck buffer size for a queue of ``queue_mult`` x BDP."""
+    if queue_mult <= 0:
+        raise ValueError(f"queue_mult must be positive, got {queue_mult}")
+    return max(int(queue_mult * bdp_bytes(rate_bps, rtt)), _MIN_QUEUE_BYTES)
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """One bottleneck configuration (a cell of the paper's grid).
+
+    Args:
+        rate_bps: capacity limit (15, 25, or 35 Mb/s in the paper).
+        queue_mult: buffer size in multiples of BDP (0.5, 2, or 7).
+        rtt: the equalised round-trip time.
+        burst_bytes: tbf burst allowance.
+    """
+
+    rate_bps: float
+    queue_mult: float
+    rtt: float = TARGET_RTT
+    burst_bytes: int = 32_000  # ~ the paper's "burst 1mbit" at our scale
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive, got {self.rate_bps}")
+        if self.queue_mult <= 0:
+            raise ValueError(f"queue_mult must be positive, got {self.queue_mult}")
+        if self.rtt <= 0:
+            raise ValueError(f"rtt must be positive, got {self.rtt}")
+
+    @property
+    def bdp(self) -> float:
+        """Bandwidth-delay product, bytes."""
+        return bdp_bytes(self.rate_bps, self.rtt)
+
+    @property
+    def queue_bytes(self) -> int:
+        """Bottleneck buffer limit, bytes."""
+        return queue_limit_bytes(self.rate_bps, self.queue_mult, self.rtt)
+
+    @property
+    def max_queue_delay(self) -> float:
+        """Seconds a full queue adds to the one-way delay."""
+        return self.queue_bytes * 8.0 / self.rate_bps
+
+
+def render_tc_script(config: RouterConfig, added_delay: float, dev: str = "eth0") -> str:
+    """Render the Linux ``tc`` commands equivalent to ``config``.
+
+    Mirrors the example in Section 3.3 of the paper: a netem qdisc for
+    added delay with a child tbf for rate/burst/limit.
+    """
+    delay_ms = added_delay * 1e3
+    rate_mbit = config.rate_bps / 1e6
+    burst = config.burst_bytes
+    limit = config.queue_bytes
+    return (
+        f"tc qdisc add dev {dev} root handle 1: netem delay {delay_ms:.1f}ms\n"
+        f"tc qdisc add dev {dev} parent 1: handle 2: "
+        f"tbf rate {rate_mbit:g}mbit burst {burst}b limit {limit}b"
+    )

@@ -1,0 +1,207 @@
+"""The dumbbell topology of the paper's Figure 1.
+
+A game-streaming server and an iperf server sit behind a shared
+bottleneck (the Raspberry Pi router's shaped egress) leading to the
+game client and iperf client.  All downlink traffic -- media, TCP data,
+and ping replies -- shares one bottleneck queue; the uplink (ACKs,
+feedback, probes) is far below its capacity and is modelled as pure
+delay.
+
+Per-flow ``netem`` delay equalises every flow's base RTT at ~16.5 ms,
+exactly as the paper does for Stadia (+4.5 ms), GeForce (+12 ms) and
+iperf (+15 ms); we apply the equalised half-RTT directly on each
+direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.aqm import CoDelQueue, FQCoDelQueue
+from repro.sim.engine import Simulator
+from repro.sim.flowstats import StatsRegistry
+from repro.sim.link import Link
+from repro.sim.netem import NetemDelay, NetemLoss
+from repro.sim.node import Demux, Tap
+from repro.sim.queues import DropTailQueue
+from repro.streaming.client import GameStreamClient
+from repro.streaming.server import GameStreamServer
+from repro.streaming.systems import SystemProfile, get_system
+from repro.testbed.capture import PacketCapture
+from repro.testbed.iperf import IperfFlow
+from repro.testbed.ping import PingProber, PingReflector
+from repro.testbed.tc import RouterConfig
+
+__all__ = ["GameStreamingTestbed", "QUEUE_DISCIPLINES"]
+
+#: Supported bottleneck queue disciplines.
+QUEUE_DISCIPLINES = ("droptail", "codel", "fq_codel")
+
+#: Flow id used for the RTT probe.
+PING_FLOW = "ping"
+#: Flow id used for the competing TCP download.
+IPERF_FLOW = "iperf"
+
+
+class GameStreamingTestbed:
+    """One fully wired experiment run.
+
+    Args:
+        system: game system name or profile (stadia / geforce / luna).
+        router: bottleneck configuration (rate, queue multiple, RTT).
+        seed: per-run seed driving complexity, noise and jitter.
+        competing_cca: "cubic" / "bbr" / "reno" / "vegas", None for a
+            solo run, or a sequence of CCA names for the multi-flow
+            ablation (the paper's future work); flows are then named
+            ``iperf``, ``iperf2``, ``iperf3``, ...
+        qdisc: bottleneck queue discipline (the paper uses droptail;
+            codel / fq_codel serve the future-work ablation).
+        ping_interval: RTT probe period, seconds.
+        random_loss: independent downlink loss probability
+            (``netem loss P%``), for the loss-resilience ablation.
+    """
+
+    def __init__(
+        self,
+        system: str | SystemProfile,
+        router: RouterConfig,
+        seed: int = 0,
+        competing_cca: str | list[str] | tuple[str, ...] | None = None,
+        qdisc: str = "droptail",
+        ping_interval: float = 0.2,
+        random_loss: float = 0.0,
+    ):
+        if qdisc not in QUEUE_DISCIPLINES:
+            raise ValueError(
+                f"unknown qdisc {qdisc!r}; options: {QUEUE_DISCIPLINES}"
+            )
+        self.profile = get_system(system) if isinstance(system, str) else system
+        self.router = router
+        self.seed = seed
+        self.qdisc = qdisc
+        self.rng = np.random.default_rng(seed)
+
+        self.sim = Simulator()
+        self.stats = StatsRegistry()
+        self.capture = PacketCapture(self.sim)
+
+        one_way = router.rtt / 2.0
+        if competing_cca is None:
+            competitor_ccas: list[str] = []
+        elif isinstance(competing_cca, str):
+            competitor_ccas = [competing_cca]
+        else:
+            competitor_ccas = list(competing_cca)
+        iperf_flows = [
+            IPERF_FLOW if i == 0 else f"{IPERF_FLOW}{i + 1}"
+            for i in range(len(competitor_ccas))
+        ]
+
+        # --- Downlink: shared bottleneck --------------------------------
+        self.client_demux = Demux()
+        client_tap = Tap(self.client_demux, self._on_client_arrival)
+        downlink_sink = client_tap
+        self.loss_stage: NetemLoss | None = None
+        if random_loss > 0:
+            self.loss_stage = NetemLoss(
+                self.sim, random_loss, sink=client_tap, rng=self.rng,
+                on_drop=self.stats.on_drop,
+            )
+            downlink_sink = self.loss_stage
+        self.queue = self._make_queue()
+        self.bottleneck = Link(
+            self.sim,
+            rate_bps=router.rate_bps,
+            delay=0.0,
+            sink=downlink_sink,
+            queue=self.queue,
+        )
+        # Per-flow propagation ahead of the bottleneck.
+        self._down_netem: dict[str, NetemDelay] = {}
+        for flow in [self.profile.name, PING_FLOW, *iperf_flows]:
+            self._down_netem[flow] = NetemDelay(
+                self.sim, delay=one_way, sink=self.bottleneck
+            )
+
+        # --- Uplink: pure delay to a server-side demux -------------------
+        self.server_demux = Demux()
+        self._uplink = NetemDelay(self.sim, delay=one_way, sink=self.server_demux)
+
+        # --- Game session -------------------------------------------------
+        self.server = GameStreamServer(
+            self.sim,
+            self.profile.name,
+            self.profile,
+            path=self._down_netem[self.profile.name],
+            rng=self.rng,
+            on_send=self.stats.on_send,
+        )
+        self.client = GameStreamClient(
+            self.sim, self.profile.name, self.profile, feedback_path=self._uplink
+        )
+        self.server_demux.route(self.profile.name, self.server)
+        self.client_demux.route(self.profile.name, self.client)
+
+        # --- RTT probe ----------------------------------------------------
+        self.prober = PingProber(
+            self.sim, PING_FLOW, uplink_path=self._uplink, interval=ping_interval
+        )
+        reflector = PingReflector(self._down_netem[PING_FLOW])
+        self.server_demux.route(PING_FLOW, reflector)
+        self.client_demux.route(PING_FLOW, self.prober)
+
+        # --- Competing TCP flow(s) ------------------------------------------
+        self.iperfs: list[IperfFlow] = []
+        for flow, cca in zip(iperf_flows, competitor_ccas):
+            iperf = IperfFlow(
+                self.sim,
+                flow,
+                cca=cca,
+                downlink_path=self._down_netem[flow],
+                uplink_path=self._uplink,
+                on_send=self.stats.on_send,
+            )
+            self.server_demux.route(flow, iperf.sender)
+            self.client_demux.route(flow, iperf.receiver)
+            self.iperfs.append(iperf)
+        self.iperf: IperfFlow | None = self.iperfs[0] if self.iperfs else None
+
+    # ------------------------------------------------------------------
+    def _make_queue(self):
+        limit = self.router.queue_bytes
+        if self.qdisc == "codel":
+            return CoDelQueue(self.sim, limit_bytes=limit, on_drop=self.stats.on_drop)
+        if self.qdisc == "fq_codel":
+            return FQCoDelQueue(self.sim, limit_bytes=limit, on_drop=self.stats.on_drop)
+        return DropTailQueue(self.sim, limit_bytes=limit, on_drop=self.stats.on_drop)
+
+    def _on_client_arrival(self, pkt) -> None:
+        self.capture.tap(pkt)
+        self.stats.on_receive(pkt)
+
+    # ------------------------------------------------------------------
+    def start_game(self) -> None:
+        """Start the streaming session and the RTT probe."""
+        self.server.start()
+        self.client.start()
+        self.prober.start()
+
+    def schedule_iperf(self, start: float, stop: float) -> None:
+        """Schedule every competing flow's lifetime (paper: 185-370 s)."""
+        if not self.iperfs:
+            raise RuntimeError("testbed built without a competing flow")
+        for iperf in self.iperfs:
+            iperf.schedule(start, stop)
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to ``until`` seconds."""
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    @property
+    def game_flow(self) -> str:
+        return self.profile.name
+
+    def game_loss_rate(self) -> float:
+        """Network loss rate of the media stream (sent vs dropped)."""
+        return self.stats.for_flow(self.profile.name).loss_rate

@@ -1,0 +1,93 @@
+"""Unit tests for response/recovery times and the adaptiveness metric."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.adaptiveness import adaptiveness, recovery_time, response_time
+
+
+def step_series(
+    t_end=555.0,
+    bin_width=0.5,
+    high=24e6,
+    low=12e6,
+    drop_at=185.0,
+    rise_at=370.0,
+    transition=10.0,
+):
+    """Synthetic bitrate: high, ramp down after drop_at, ramp up after rise_at."""
+    times = np.arange(0, t_end, bin_width) + bin_width / 2
+    rates = np.full_like(times, high)
+    falling = (times >= drop_at) & (times < drop_at + transition)
+    rates[falling] = high + (low - high) * (times[falling] - drop_at) / transition
+    down = (times >= drop_at + transition) & (times < rise_at)
+    rates[down] = low
+    rising = (times >= rise_at) & (times < rise_at + transition)
+    rates[rising] = low + (high - low) * (times[rising] - rise_at) / transition
+    return times, rates
+
+
+class TestResponseTime:
+    def test_detects_transition_duration(self):
+        times, rates = step_series(transition=20.0)
+        c = response_time(times, rates, 185.0, 370.0, 12e6, 0.5e6)
+        assert c == pytest.approx(20.0, abs=3.0)
+
+    def test_instant_response(self):
+        times, rates = step_series(transition=0.5)
+        c = response_time(times, rates, 185.0, 370.0, 12e6, 0.5e6)
+        assert c < 3.0
+
+    def test_never_settles_returns_window(self):
+        times, rates = step_series()
+        # target band far away from anything the series reaches
+        c = response_time(times, rates, 185.0, 370.0, 3e6, 0.1e6)
+        assert c == pytest.approx(185.0)
+
+    def test_noise_tolerated_via_band(self):
+        times, rates = step_series(transition=15.0)
+        rng = np.random.default_rng(1)
+        noisy = rates + rng.normal(0, 0.3e6, len(rates))
+        c = response_time(times, noisy, 185.0, 370.0, 12e6, 1.0e6)
+        assert c == pytest.approx(15.0, abs=5.0)
+
+
+class TestRecoveryTime:
+    def test_detects_transition_duration(self):
+        times, rates = step_series(transition=30.0)
+        e = recovery_time(times, rates, 370.0, 555.0, 24e6, 0.5e6)
+        assert e == pytest.approx(30.0, abs=4.0)
+
+    def test_never_recovers_returns_window(self):
+        times, rates = step_series()
+        rates = rates.copy()
+        rates[times >= 370.0] = 5e6  # stays collapsed
+        e = recovery_time(times, rates, 370.0, 555.0, 24e6, 0.5e6)
+        assert e == pytest.approx(185.0)
+
+    def test_invalid_window(self):
+        times, rates = step_series()
+        with pytest.raises(ValueError):
+            recovery_time(times, rates, 370.0, 370.0, 24e6, 1e6)
+
+
+class TestAdaptiveness:
+    def test_perfect_adaptation(self):
+        assert adaptiveness(0.0, 0.0, 60.0, 60.0) == 1.0
+
+    def test_worst_adaptation(self):
+        assert adaptiveness(60.0, 60.0, 60.0, 60.0) == 0.0
+
+    def test_midpoint(self):
+        assert adaptiveness(30.0, 30.0, 60.0, 60.0) == pytest.approx(0.5)
+
+    def test_asymmetric(self):
+        # instant response, worst recovery -> 0.5
+        assert adaptiveness(0.0, 60.0, 60.0, 60.0) == pytest.approx(0.5)
+
+    def test_clamped_above_max(self):
+        assert adaptiveness(120.0, 0.0, 60.0, 60.0) == pytest.approx(0.5)
+
+    def test_invalid_normalisation(self):
+        with pytest.raises(ValueError):
+            adaptiveness(1.0, 1.0, 0.0, 60.0)

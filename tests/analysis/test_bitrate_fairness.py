@@ -1,0 +1,89 @@
+"""Unit tests for bitrate aggregation and fairness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bitrate import aggregate_bitrate_series
+from repro.analysis.fairness import fairness_ratio, harm
+
+
+class TestAggregateBitrate:
+    def _runs(self, n=5, bins=20, base=20e6, noise=1e6, seed=0):
+        rng = np.random.default_rng(seed)
+        times = np.arange(bins) * 0.5 + 0.25
+        return [(times, base + rng.normal(0, noise, bins)) for _ in range(n)]
+
+    def test_mean_recovers_base(self):
+        band = aggregate_bitrate_series(self._runs(n=20))
+        assert band.mean.mean() == pytest.approx(20e6, rel=0.05)
+
+    def test_band_contains_mean(self):
+        band = aggregate_bitrate_series(self._runs())
+        assert (band.lower <= band.mean).all()
+        assert (band.upper >= band.mean).all()
+
+    def test_single_run_zero_band(self):
+        band = aggregate_bitrate_series(self._runs(n=1))
+        assert (band.ci_half == 0).all()
+        assert band.runs == 1
+
+    def test_band_narrows_with_runs(self):
+        narrow = aggregate_bitrate_series(self._runs(n=15)).ci_half.mean()
+        wide = aggregate_bitrate_series(self._runs(n=3)).ci_half.mean()
+        assert narrow < wide
+
+    def test_mean_over_window(self):
+        times = np.array([0.5, 1.5, 2.5, 3.5])
+        rates = np.array([10.0, 20.0, 30.0, 40.0])
+        band = aggregate_bitrate_series([(times, rates)])
+        assert band.mean_over(1.0, 3.0) == pytest.approx(25.0)
+        with pytest.raises(ValueError):
+            band.mean_over(100.0, 101.0)
+
+    def test_mismatched_runs_rejected(self):
+        a = (np.array([0.5, 1.5]), np.array([1.0, 2.0]))
+        b = (np.array([0.5]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            aggregate_bitrate_series([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_bitrate_series([])
+
+
+class TestFairnessRatio:
+    def test_equal_share_is_zero(self):
+        assert fairness_ratio(12.5e6, 12.5e6, 25e6) == 0.0
+
+    def test_game_dominates_positive(self):
+        assert fairness_ratio(20e6, 5e6, 25e6) == pytest.approx(0.6)
+
+    def test_tcp_dominates_negative(self):
+        assert fairness_ratio(5e6, 20e6, 25e6) == pytest.approx(-0.6)
+
+    def test_clipped_to_unit_range(self):
+        assert fairness_ratio(60e6, 0.0, 25e6) == 1.0
+        assert fairness_ratio(0.0, 60e6, 25e6) == -1.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            fairness_ratio(1.0, 1.0, 0.0)
+
+
+class TestHarm:
+    def test_no_harm(self):
+        assert harm(25e6, 25e6) == 0.0
+
+    def test_half_harm(self):
+        assert harm(25e6, 12.5e6) == pytest.approx(0.5)
+
+    def test_lower_is_better_metric(self):
+        # RTT doubling from 16.5 ms to 33 ms is 100% harm
+        assert harm(0.0165, 0.033, higher_is_better=False) == pytest.approx(1.0)
+
+    def test_improvement_is_zero_harm(self):
+        assert harm(10.0, 12.0) == 0.0
+
+    def test_invalid_solo(self):
+        with pytest.raises(ValueError):
+            harm(0.0, 1.0)

@@ -1,0 +1,85 @@
+"""Unit tests for text rendering of tables, heatmaps and series."""
+
+import numpy as np
+
+from repro.analysis.adaptiveness import AdaptivenessPoint
+from repro.analysis.render import (
+    render_heatmap,
+    render_scatter,
+    render_series,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        text = render_table(
+            "Table 1",
+            ["stadia", "geforce"],
+            ["Bitrate"],
+            {("stadia", "Bitrate"): (27.5, 2.3), ("geforce", "Bitrate"): (24.5, 1.8)},
+        )
+        assert "27.5 (2.3)" in text
+        assert "24.5 (1.8)" in text
+        assert "stadia" in text and "geforce" in text
+
+    def test_missing_cell_renders_dash(self):
+        text = render_table("T", ["a"], ["x", "y"], {("a", "x"): (1.0, 0.1)})
+        assert "-" in text
+
+    def test_consistent_column_count(self):
+        text = render_table(
+            "T", ["row1", "r2"], ["c1", "c2"],
+            {(r, c): (1.0, 0.5) for r in ("row1", "r2") for c in ("c1", "c2")},
+        )
+        lines = text.splitlines()[2:]
+        assert len({len(line) for line in lines}) == 1
+
+
+class TestRenderHeatmap:
+    def test_signed_values(self):
+        text = render_heatmap(
+            "Figure 3", ["15M", "25M"], ["0.5x", "2x"],
+            {("15M", "0.5x"): 0.21, ("15M", "2x"): -0.47,
+             ("25M", "0.5x"): 0.0, ("25M", "2x"): -1.0},
+        )
+        assert "+0.21" in text
+        assert "-0.47" in text
+        assert "+0.00" in text
+
+    def test_missing_cell(self):
+        text = render_heatmap("F", ["r"], ["c"], {})
+        assert "-" in text
+
+
+class TestRenderSeries:
+    def test_produces_sparkline_per_flow(self):
+        times = np.arange(0, 100, 0.5)
+        series = {
+            "game": np.full(len(times), 20e6),
+            "iperf": np.zeros(len(times)),
+        }
+        text = render_series("Figure 2", times, series)
+        lines = text.splitlines()
+        assert any("game" in line for line in lines)
+        assert any("iperf" in line for line in lines)
+
+    def test_higher_values_use_denser_glyphs(self):
+        times = np.arange(0, 10, 0.5)
+        half = len(times) // 2
+        values = np.concatenate([np.full(half, 1e6), np.full(len(times) - half, 24e6)])
+        text = render_series("F", times, {"x": values}, width=20)
+        row = next(line for line in text.splitlines() if line.strip().startswith("x"))
+        body = row.split("|")[1]
+        assert body[-1] != body[0]
+
+
+class TestRenderScatter:
+    def test_lists_every_point(self):
+        points = [
+            AdaptivenessPoint("stadia", "cubic", 25e6, 0.5, 0.2, 5.0, 20.0, 0.8),
+            AdaptivenessPoint("luna", "bbr", 35e6, 7.0, -0.4, 30.0, 100.0, 0.2),
+        ]
+        text = render_scatter("Figure 4", points)
+        assert "stadia" in text and "luna" in text
+        assert "+0.20" in text and "-0.40" in text

@@ -1,0 +1,89 @@
+"""Unit tests for statistics helpers and table cells."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.framerate import framerate_cell
+from repro.analysis.loss import loss_cell
+from repro.analysis.rtt import rtt_cell
+from repro.analysis.stats import confidence_interval_95, format_mean_std, mean_std
+
+
+class TestMeanStd:
+    def test_simple(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert mean_std([5.0]) == (5.0, 0.0)
+
+    def test_empty(self):
+        mean, std = mean_std([])
+        assert math.isnan(mean) and math.isnan(std)
+
+
+class TestConfidenceInterval:
+    def test_zero_variance(self):
+        mean, half = confidence_interval_95([4.0, 4.0, 4.0])
+        assert mean == 4.0
+        assert half == 0.0
+
+    def test_known_t_value(self):
+        # n=15 (the paper's iteration count): t_{0.975,14} = 2.145
+        values = np.arange(15, dtype=float)
+        mean, half = confidence_interval_95(values)
+        expected = 2.145 * values.std(ddof=1) / np.sqrt(15)
+        assert half == pytest.approx(expected, rel=1e-3)
+
+    def test_large_sample_uses_normal(self):
+        values = np.arange(100, dtype=float)
+        _, half = confidence_interval_95(values)
+        expected = 1.96 * values.std(ddof=1) / 10
+        assert half == pytest.approx(expected, rel=1e-3)
+
+    def test_single_run(self):
+        mean, half = confidence_interval_95([7.0])
+        assert (mean, half) == (7.0, 0.0)
+
+    def test_narrows_with_more_runs(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10, 2, 50)
+        _, half5 = confidence_interval_95(values[:5])
+        _, half50 = confidence_interval_95(values)
+        assert half50 < half5
+
+
+class TestFormatting:
+    def test_paper_style(self):
+        assert format_mean_std(27.54, 2.31) == "27.5 (2.3)"
+
+    def test_nan_renders_dash(self):
+        assert format_mean_std(float("nan"), 0.0) == "-"
+
+
+class TestCells:
+    def test_rtt_cell_pools_runs(self):
+        run_a = np.array([0.016, 0.018])
+        run_b = np.array([0.020, 0.022])
+        mean, std = rtt_cell([run_a, run_b])
+        assert mean == pytest.approx(0.019)
+        assert std > 0
+
+    def test_rtt_cell_skips_empty_runs(self):
+        mean, _ = rtt_cell([np.array([]), np.array([0.02])])
+        assert mean == pytest.approx(0.02)
+
+    def test_rtt_cell_all_empty(self):
+        mean, std = rtt_cell([np.array([])])
+        assert math.isnan(mean)
+
+    def test_loss_cell(self):
+        mean, std = loss_cell([0.001, 0.003])
+        assert mean == pytest.approx(0.002)
+
+    def test_framerate_cell(self):
+        mean, std = framerate_cell([58.0, 60.0, 59.0])
+        assert mean == pytest.approx(59.0)

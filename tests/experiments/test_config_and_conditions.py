@@ -1,0 +1,103 @@
+"""Unit tests for run configs, timelines, and the condition grid."""
+
+import pytest
+
+from repro.experiments.conditions import (
+    CAPACITIES,
+    CCAS,
+    QUEUE_MULTS,
+    SYSTEM_NAMES,
+    condition_grid,
+    striped_order,
+)
+from repro.experiments.config import RunConfig
+from repro.experiments.profiles import PAPER, QUICK, SMOKE, Timeline
+
+
+class TestTimeline:
+    def test_paper_anchors(self):
+        assert PAPER.iperf_start == 185.0
+        assert PAPER.iperf_stop == 370.0
+        assert PAPER.end == 555.0
+        assert PAPER.baseline_window == (125.0, 185.0)
+        assert PAPER.adjusted_window == (310.0, 370.0)
+        assert PAPER.fairness_window == (220.0, 370.0)
+        assert PAPER.bin_width == 0.5
+
+    def test_scaling_preserves_structure(self):
+        for timeline in (QUICK, SMOKE):
+            s = timeline.scale
+            assert timeline.iperf_start == pytest.approx(185.0 * s)
+            assert timeline.end == pytest.approx(555.0 * s)
+            lo, hi = timeline.fairness_window
+            assert lo < hi <= timeline.iperf_stop
+
+    def test_bin_width_floor(self):
+        assert Timeline(scale=0.01).bin_width == 0.1
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            Timeline(scale=0)
+
+
+class TestRunConfig:
+    def test_valid_config(self):
+        cfg = RunConfig("stadia", 25e6, 2.0, cca="cubic", seed=3)
+        assert cfg.competing
+        assert cfg.label == "stadia-cubic-25M-2x-s3"
+
+    def test_solo_config(self):
+        cfg = RunConfig("luna", 15e6, 0.5)
+        assert not cfg.competing
+        assert "solo" in cfg.label
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunConfig("fortnite", 25e6, 2.0)
+        with pytest.raises(ValueError):
+            RunConfig("stadia", 25e6, 2.0, cca="quic")
+        with pytest.raises(ValueError):
+            RunConfig("stadia", 0, 2.0)
+        with pytest.raises(ValueError):
+            RunConfig("stadia", 25e6, 0)
+
+
+class TestConditionGrid:
+    def test_full_grid_size(self):
+        # 2 CCAs x 3 capacities x 3 queues x 3 systems = 54 (Table 2)
+        assert len(condition_grid()) == 54
+
+    def test_loop_order_matches_paper(self):
+        grid = condition_grid()
+        # Inner loop is the game system
+        assert [g[3] for g in grid[:3]] == list(SYSTEM_NAMES)
+        # First block is Cubic at 35 Mb/s, 7x
+        assert grid[0][:3] == ("cubic", 35e6, 7.0)
+
+    def test_constants_match_table2(self):
+        assert set(CCAS) == {"cubic", "bbr"}
+        assert set(CAPACITIES) == {15e6, 25e6, 35e6}
+        assert set(QUEUE_MULTS) == {0.5, 2.0, 7.0}
+        assert set(SYSTEM_NAMES) == {"stadia", "geforce", "luna"}
+
+
+class TestStripedOrder:
+    def test_total_runs(self):
+        runs = list(striped_order(iterations=2))
+        assert len(runs) == 2 * 54
+
+    def test_systems_share_seed_within_condition(self):
+        runs = list(striped_order(iterations=1))
+        first_three = runs[:3]
+        assert len({r.seed for r in first_three}) == 1
+        assert [r.system for r in first_three] == list(SYSTEM_NAMES)
+
+    def test_conditions_get_distinct_seeds(self):
+        runs = list(striped_order(iterations=2))
+        seeds = {(r.cca, r.capacity_bps, r.queue_mult, r.seed) for r in runs}
+        plain_seeds = [r.seed for r in runs[::3]]
+        assert len(set(plain_seeds)) == len(plain_seeds)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            list(striped_order(iterations=0))

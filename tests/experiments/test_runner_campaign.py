@@ -1,0 +1,104 @@
+"""Integration tests: single runs, result persistence, campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Campaign, RunConfig, SMOKE, run_single
+from repro.experiments.results import RunResult
+
+
+@pytest.fixture(scope="module")
+def competing_result():
+    cfg = RunConfig("stadia", 25e6, 2.0, cca="cubic", seed=7, timeline=SMOKE)
+    return run_single(cfg)
+
+
+@pytest.fixture(scope="module")
+def solo_result():
+    cfg = RunConfig("luna", 25e6, 2.0, seed=7, timeline=SMOKE)
+    return run_single(cfg)
+
+
+class TestRunSingle:
+    def test_series_cover_whole_run(self, competing_result):
+        r = competing_result
+        assert r.times[0] > 0
+        assert r.times[-1] < SMOKE.end
+        assert len(r.times) == len(r.game_bps) == len(r.iperf_bps)
+
+    def test_iperf_confined_to_schedule(self, competing_result):
+        r = competing_result
+        # exclude the bin that straddles the start instant
+        before = r.times < SMOKE.iperf_start - SMOKE.bin_width
+        assert r.iperf_bps[before].max() == 0.0
+        during = (r.times > SMOKE.iperf_start + 2) & (r.times < SMOKE.iperf_stop)
+        assert r.iperf_bps[during].mean() > 1e6
+
+    def test_solo_run_has_zero_iperf(self, solo_result):
+        assert solo_result.iperf_bps.max() == 0.0
+
+    def test_game_responds_and_recovers(self, competing_result):
+        r = competing_result
+        during = r.game_mean_bps(*SMOKE.adjusted_window)
+        assert during < 0.9 * r.baseline_bps
+        tail = r.game_mean_bps(SMOKE.end - 5, SMOKE.end)
+        assert tail > during
+
+    def test_rtt_samples_recorded(self, competing_result):
+        assert competing_result.rtt_samples.shape[1] == 2
+        assert len(competing_result.rtt_samples) > 100
+
+    def test_summary_fields_consistent(self, competing_result):
+        r = competing_result
+        assert r.fairness_game_bps == pytest.approx(
+            r.game_mean_bps(*SMOKE.fairness_window), rel=0.02
+        )
+        assert 0 <= r.game_loss_rate < 0.2
+        assert 0 < r.displayed_fps_contention <= 62
+
+    def test_json_roundtrip(self, competing_result, tmp_path):
+        path = tmp_path / "run.json"
+        competing_result.save(path)
+        loaded = RunResult.load(path)
+        assert loaded.system == competing_result.system
+        assert np.allclose(loaded.game_bps, competing_result.game_bps)
+        assert np.allclose(loaded.rtt_samples, competing_result.rtt_samples)
+
+
+class TestCampaign:
+    def test_groups_by_condition(self):
+        configs = [
+            RunConfig("luna", 25e6, 2.0, cca="cubic", seed=s, timeline=SMOKE)
+            for s in (1, 2)
+        ] + [RunConfig("luna", 25e6, 7.0, cca="cubic", seed=1, timeline=SMOKE)]
+        campaign = Campaign().run(configs)
+        assert len(campaign.conditions) == 2
+        condition = campaign.get("luna", "cubic", 25e6, 2.0)
+        assert len(condition.runs) == 2
+
+    def test_band_and_cells(self):
+        configs = [
+            RunConfig("geforce", 25e6, 2.0, cca="cubic", seed=s, timeline=SMOKE)
+            for s in (1, 2, 3)
+        ]
+        campaign = Campaign().run(configs)
+        condition = campaign.get("geforce", "cubic", 25e6, 2.0)
+        band = condition.game_band()
+        assert band.runs == 3
+        assert band.mean.max() > 5e6
+        fairness = condition.fairness()
+        assert -1.0 <= fairness <= 1.0
+        rtt_mean, rtt_std = condition.rtt_cell(SMOKE)
+        assert 0.016 < rtt_mean < 0.15
+        response, recovery = condition.response_recovery(SMOKE)
+        assert 0 <= response <= SMOKE.iperf_stop - SMOKE.iperf_start
+        assert 0 <= recovery <= SMOKE.end - SMOKE.iperf_stop
+
+    def test_missing_condition_raises(self):
+        campaign = Campaign()
+        with pytest.raises(KeyError):
+            campaign.get("luna", "cubic", 25e6, 2.0)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            Campaign(workers=0)

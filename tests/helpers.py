@@ -1,0 +1,69 @@
+"""Shared wiring helpers for tests: minimal dumbbell paths."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.netem import NetemDelay
+from repro.sim.node import Tap
+from repro.sim.queues import DropTailQueue
+from repro.tcp import TcpSender, make_cca
+from repro.tcp.receiver import TcpReceiver
+
+
+@dataclass
+class TcpTestbed:
+    """One TCP flow through a bottleneck link; records arrivals."""
+
+    sim: Simulator
+    sender: TcpSender
+    receiver: TcpReceiver
+    queue: DropTailQueue
+    link: Link
+    arrivals: list[tuple[float, int]] = field(default_factory=list)
+
+    def throughput_bps(self, start: float, end: float) -> float:
+        total = sum(size for t, size in self.arrivals if start <= t < end)
+        return total * 8.0 / (end - start)
+
+
+def make_tcp_testbed(
+    cca: str = "cubic",
+    rate_bps: float = 10e6,
+    rtt: float = 0.020,
+    queue_bdp: float = 2.0,
+    flow: str = "tcp",
+    segment_size: int = 1500,
+) -> TcpTestbed:
+    """Build sender -> bottleneck(queue+link) -> receiver -> acks -> sender."""
+    sim = Simulator()
+    bdp_bytes = rate_bps * rtt / 8.0
+    queue = DropTailQueue(sim, limit_bytes=max(int(queue_bdp * bdp_bytes), 3000))
+
+    testbed = TcpTestbed(
+        sim=sim, sender=None, receiver=None, queue=queue, link=None
+    )
+
+    def record(pkt):
+        testbed.arrivals.append((sim.now, pkt.size))
+
+    # ACK path back to the sender: pure propagation delay.
+    sender_holder = {}
+
+    class _AckEntry:
+        def receive(self, pkt):
+            sender_holder["sender"].receive(pkt)
+
+    ack_path = NetemDelay(sim, delay=rtt / 2.0, sink=_AckEntry())
+    receiver = TcpReceiver(sim, flow, ack_path)
+    tap = Tap(receiver, record)
+    link = Link(sim, rate_bps=rate_bps, delay=rtt / 2.0, sink=tap, queue=queue)
+    sender = TcpSender(sim, flow, path=link, cca=make_cca(cca), segment_size=segment_size)
+    sender_holder["sender"] = sender
+
+    testbed.sender = sender
+    testbed.receiver = receiver
+    testbed.link = link
+    return testbed

@@ -1,0 +1,139 @@
+"""Unit tests for NetemLoss and the wiring helpers in sim.node."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.flowstats import StatsRegistry
+from repro.sim.netem import NetemLoss
+from repro.sim.node import CollectorSink, Demux, NullSink, Pipeline, Tap
+from repro.sim.packet import Packet
+
+
+def mk_pkt(seq=0, flow="f", size=100):
+    return Packet(flow, seq, size)
+
+
+class TestNetemLoss:
+    def test_zero_loss_passes_everything(self):
+        sim = Simulator()
+        sink = CollectorSink()
+        stage = NetemLoss(sim, 0.0, sink, rng=np.random.default_rng(1))
+        for i in range(100):
+            stage.receive(mk_pkt(i))
+        assert len(sink.packets) == 100
+        assert stage.drops == 0
+
+    def test_loss_rate_statistics(self):
+        sim = Simulator()
+        sink = NullSink()
+        stage = NetemLoss(sim, 0.1, sink, rng=np.random.default_rng(2))
+        n = 20_000
+        for i in range(n):
+            stage.receive(mk_pkt(i))
+        assert stage.drops + stage.passed == n
+        assert stage.drops / n == pytest.approx(0.1, abs=0.01)
+
+    def test_on_drop_callback(self):
+        sim = Simulator()
+        dropped = []
+        stage = NetemLoss(
+            sim, 0.5, NullSink(), rng=np.random.default_rng(3), on_drop=dropped.append
+        )
+        for i in range(100):
+            stage.receive(mk_pkt(i))
+        assert len(dropped) == stage.drops
+
+    def test_deterministic_given_seed(self):
+        outcomes = []
+        for _ in range(2):
+            stage = NetemLoss(
+                Simulator(), 0.3, NullSink(), rng=np.random.default_rng(7)
+            )
+            for i in range(500):
+                stage.receive(mk_pkt(i))
+            outcomes.append(stage.drops)
+        assert outcomes[0] == outcomes[1]
+
+    def test_invalid_rate_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            NetemLoss(Simulator(), -0.1, NullSink(), rng)
+        with pytest.raises(ValueError):
+            NetemLoss(Simulator(), 1.0, NullSink(), rng)
+
+
+class TestTap:
+    def test_observes_and_forwards(self):
+        seen = []
+        sink = CollectorSink()
+        tap = Tap(sink, seen.append)
+        pkt = mk_pkt()
+        tap.receive(pkt)
+        assert seen == [pkt]
+        assert sink.packets == [pkt]
+
+
+class TestDemux:
+    def test_routes_by_flow(self):
+        a, b = CollectorSink(), CollectorSink()
+        demux = Demux()
+        demux.route("a", a)
+        demux.route("b", b)
+        demux.receive(mk_pkt(flow="a"))
+        demux.receive(mk_pkt(flow="b"))
+        demux.receive(mk_pkt(flow="a"))
+        assert len(a.packets) == 2
+        assert len(b.packets) == 1
+
+    def test_unknown_flow_raises_without_default(self):
+        demux = Demux()
+        with pytest.raises(KeyError):
+            demux.receive(mk_pkt(flow="ghost"))
+
+    def test_default_sink(self):
+        default = CollectorSink()
+        demux = Demux(default=default)
+        demux.receive(mk_pkt(flow="ghost"))
+        assert len(default.packets) == 1
+
+
+class TestPipelineAndSinks:
+    def test_pipeline_delegates(self):
+        sink = CollectorSink()
+        pipeline = Pipeline(sink)
+        pipeline.receive(mk_pkt())
+        assert len(sink.packets) == 1
+
+    def test_null_sink_counts(self):
+        sink = NullSink()
+        sink.receive(mk_pkt(size=100))
+        sink.receive(mk_pkt(size=200))
+        assert sink.packets == 2
+        assert sink.bytes == 300
+
+
+class TestStatsRegistry:
+    def test_per_flow_counters(self):
+        stats = StatsRegistry()
+        stats.on_send(mk_pkt(flow="a", size=100))
+        stats.on_send(mk_pkt(flow="a", size=100))
+        stats.on_receive(mk_pkt(flow="a", size=100))
+        stats.on_drop(mk_pkt(flow="a", size=100))
+        flow = stats.for_flow("a")
+        assert flow.packets_sent == 2
+        assert flow.packets_received == 1
+        assert flow.packets_dropped == 1
+        assert flow.loss_rate == 0.5
+
+    def test_loss_rate_idle_flow(self):
+        stats = StatsRegistry()
+        assert stats.for_flow("idle").loss_rate == 0.0
+
+    def test_flows_independent(self):
+        stats = StatsRegistry()
+        stats.on_send(mk_pkt(flow="a"))
+        stats.on_send(mk_pkt(flow="b"))
+        stats.on_drop(mk_pkt(flow="b"))
+        assert stats.for_flow("a").loss_rate == 0.0
+        assert stats.for_flow("b").loss_rate == 1.0

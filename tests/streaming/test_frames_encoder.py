@@ -1,0 +1,107 @@
+"""Unit tests for the complexity process and encoder model."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.encoder import Encoder
+from repro.streaming.frames import ComplexityProcess
+from repro.streaming.systems import STADIA
+
+
+def make_complexity(seed=1, **kw):
+    return ComplexityProcess(np.random.default_rng(seed), **kw)
+
+
+class TestComplexityProcess:
+    def test_mean_is_near_one(self):
+        proc = make_complexity(amplitude=0.08)
+        values = [proc.value(t * 0.5) for t in range(2000)]
+        assert np.mean(values) == pytest.approx(1.0, abs=0.05)
+
+    def test_amplitude_scales_variation(self):
+        low = np.std([make_complexity(2, amplitude=0.02).value(t * 0.5) for t in range(1000)])
+        high = np.std([make_complexity(2, amplitude=0.15).value(t * 0.5) for t in range(1000)])
+        assert high > 2 * low
+
+    def test_deterministic_given_seed(self):
+        a = make_complexity(seed=42)
+        b = make_complexity(seed=42)
+        for t in (0.0, 1.0, 7.3, 100.0):
+            assert a.value(t) == b.value(t)
+
+    def test_smooth_on_short_timescales(self):
+        proc = make_complexity(amplitude=0.1)
+        deltas = [
+            abs(proc.value(t * 0.01 + 0.01) - proc.value(t * 0.01)) for t in range(500)
+        ]
+        assert max(deltas) < 0.2
+
+    def test_floor_at_03(self):
+        proc = make_complexity(amplitude=2.0)  # absurd amplitude
+        values = [proc.value(t * 0.1) for t in range(5000)]
+        assert min(values) >= 0.3
+
+    def test_zero_amplitude_is_constant_one(self):
+        proc = make_complexity(amplitude=0.0)
+        assert proc.value(5.0) == 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            make_complexity(amplitude=-1)
+        with pytest.raises(ValueError):
+            make_complexity(tau=0)
+        with pytest.raises(ValueError):
+            make_complexity().value(-1.0)
+
+
+class TestEncoder:
+    def _encoder(self, seed=3):
+        rng = np.random.default_rng(seed)
+        return Encoder(STADIA, ComplexityProcess(rng, amplitude=0.05), rng)
+
+    def test_mean_rate_tracks_target(self):
+        enc = self._encoder()
+        target, fps = 20e6, 60.0
+        total = 0
+        n = 1800  # 30 seconds
+        for i in range(n):
+            total += enc.encode(i / fps, target, fps).size
+        rate = total * 8.0 * fps / n
+        assert rate == pytest.approx(target, rel=0.05)
+
+    def test_keyframes_emitted_on_schedule(self):
+        enc = self._encoder()
+        frames = [enc.encode(i / 60.0, 20e6, 60.0) for i in range(600)]
+        keys = [f for f in frames if f.keyframe]
+        # 10 seconds at a 2 s keyframe interval -> 5 keyframes
+        assert len(keys) == 5
+
+    def test_keyframes_larger_than_p_frames(self):
+        enc = self._encoder()
+        frames = [enc.encode(i / 60.0, 20e6, 60.0) for i in range(600)]
+        key_mean = np.mean([f.size for f in frames if f.keyframe])
+        p_mean = np.mean([f.size for f in frames if not f.keyframe])
+        assert key_mean > 1.8 * p_mean
+
+    def test_frame_ids_monotonic(self):
+        enc = self._encoder()
+        ids = [enc.encode(i / 60.0, 20e6, 60.0).frame_id for i in range(100)]
+        assert ids == list(range(100))
+
+    def test_minimum_frame_size(self):
+        enc = self._encoder()
+        frame = enc.encode(0.0, 1e4, 60.0)  # absurdly low rate
+        assert frame.size >= Encoder.MIN_FRAME_BYTES
+
+    def test_rejects_bad_args(self):
+        enc = self._encoder()
+        with pytest.raises(ValueError):
+            enc.encode(0.0, 0, 60.0)
+        with pytest.raises(ValueError):
+            enc.encode(0.0, 1e6, 0)
+
+    def test_rate_change_takes_effect(self):
+        enc = self._encoder()
+        hi = [enc.encode(i / 60.0, 25e6, 60.0).size for i in range(300)]
+        lo = [enc.encode((300 + i) / 60.0, 10e6, 60.0).size for i in range(300)]
+        assert np.mean(lo) < 0.55 * np.mean(hi)

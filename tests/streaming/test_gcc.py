@@ -1,0 +1,163 @@
+"""Unit tests for the GCC-family rate controller."""
+
+import pytest
+
+from repro.streaming.feedback import FeedbackReport
+from repro.streaming.gcc import GccController
+from repro.streaming.systems import GEFORCE, LUNA, STADIA
+
+
+def report(t, rate_bps=20e6, loss=0.0, qdelay=0.0, interval=0.1, expected=200):
+    received = int(round(expected * (1 - loss)))
+    return FeedbackReport(
+        t_start=t - interval,
+        t_end=t,
+        expected=expected,
+        received=received,
+        bytes_received=int(rate_bps * interval / 8),
+        qdelay_avg=qdelay,
+        qdelay_max=qdelay * 1.5,
+        nacks=[],
+    )
+
+
+def drive(ctrl, seconds, **report_kw):
+    """Feed 100 ms reports for `seconds`; returns final target."""
+    start = ctrl._last_feedback or 0.0
+    t = start
+    target = ctrl.target
+    for i in range(int(seconds * 10)):
+        t = start + (i + 1) * 0.1
+        target = ctrl.on_feedback(report(t, **report_kw), t)
+    return target
+
+
+class TestRamp:
+    def test_clean_path_ramps_to_max(self):
+        ctrl = GccController(STADIA)
+        target = drive(ctrl, 60.0, rate_bps=30e6)
+        assert target == STADIA.max_bitrate
+
+    def test_ramp_rate_ordering_matches_profiles(self):
+        """GeForce's clear-path ramp is the slowest of the three."""
+        finals = {}
+        for profile in (STADIA, GEFORCE, LUNA):
+            ctrl = GccController(profile)
+            ctrl.target = 10e6
+            finals[profile.name] = drive(ctrl, 5.0, rate_bps=30e6)
+        assert finals["geforce"] < finals["stadia"]
+        assert finals["geforce"] < finals["luna"]
+
+    def test_never_exceeds_max(self):
+        ctrl = GccController(STADIA)
+        drive(ctrl, 300.0, rate_bps=50e6)
+        assert ctrl.target <= STADIA.max_bitrate
+
+    def test_never_below_min(self):
+        ctrl = GccController(LUNA)
+        drive(ctrl, 60.0, rate_bps=1e5, loss=0.5, qdelay=0.5)
+        assert ctrl.target >= LUNA.min_bitrate
+
+
+class TestDelayBackoff:
+    def test_overuse_cuts_to_fraction_of_receive_rate(self):
+        ctrl = GccController(GEFORCE)
+        ctrl.target = 20e6
+        ctrl.on_feedback(report(0.1, rate_bps=19e6, qdelay=0.05), 0.1)
+        assert ctrl.target == pytest.approx(GEFORCE.delay_backoff * 19e6)
+        assert ctrl.delay_backoffs == 1
+
+    def test_below_threshold_no_backoff(self):
+        ctrl = GccController(GEFORCE)
+        ctrl.target = 20e6
+        ctrl.on_feedback(report(0.1, rate_bps=19e6, qdelay=0.005), 0.1)
+        assert ctrl.delay_backoffs == 0
+
+    def test_cooldown_limits_backoff_frequency(self):
+        ctrl = GccController(GEFORCE)
+        ctrl.target = 20e6
+        for i in range(5):  # 0.5 s of persistent overuse
+            t = 0.1 * (i + 1)
+            ctrl.on_feedback(report(t, rate_bps=19e6, qdelay=0.05), t)
+        assert ctrl.delay_backoffs == 1  # cooldown is 0.7 s
+
+    def test_threshold_ordering_geforce_most_sensitive(self):
+        assert GEFORCE.delay_threshold < LUNA.delay_threshold < STADIA.delay_threshold
+
+    def test_overuse_holds_ramp(self):
+        """During cooldown the target must not ramp upward."""
+        ctrl = GccController(GEFORCE)
+        ctrl.target = 20e6
+        ctrl.on_feedback(report(0.1, rate_bps=19e6, qdelay=0.05), 0.1)
+        after_backoff = ctrl.target
+        ctrl.on_feedback(report(0.2, rate_bps=19e6, qdelay=0.05), 0.2)
+        assert ctrl.target <= after_backoff
+
+
+class TestLossBackoff:
+    def test_loss_above_threshold_decreases(self):
+        ctrl = GccController(LUNA)
+        ctrl.target = 20e6
+        ctrl.on_feedback(report(0.1, rate_bps=19e6, loss=0.05), 0.1)
+        # Proportional decrease, floored at loss_backoff; habituation
+        # subtracts a fraction of the (still tiny) smoothed loss.
+        assert ctrl.loss_backoffs == 1
+        assert 20e6 * LUNA.loss_backoff <= ctrl.target < 20e6 * (1 - LUNA.loss_hi)
+
+    def test_low_loss_no_decrease(self):
+        ctrl = GccController(LUNA)
+        ctrl.target = 20e6
+        ctrl.on_feedback(report(0.1, rate_bps=19e6, loss=0.005), 0.1)
+        assert ctrl.loss_backoffs == 0
+
+    def test_luna_builds_loss_memory(self):
+        ctrl = GccController(LUNA)
+        drive(ctrl, 10.0, rate_bps=10e6, loss=0.05)
+        assert ctrl.loss_memory > 0.5
+
+    def test_stadia_has_no_loss_memory_penalty(self):
+        ctrl = GccController(STADIA)
+        drive(ctrl, 10.0, rate_bps=10e6, loss=0.05)
+        assert ctrl.loss_memory == 0.0
+
+    def test_loss_memory_suppresses_recovery(self):
+        """Luna after a lossy episode ramps far slower than fresh Luna."""
+        burned = GccController(LUNA)
+        drive(burned, 20.0, rate_bps=10e6, loss=0.05)
+        burned.target = 10e6
+        fresh = GccController(LUNA)
+        fresh.target = 10e6
+        fresh._last_feedback = burned._last_feedback
+        burned_final = drive(burned, 10.0, rate_bps=30e6)
+        fresh_final = drive(fresh, 10.0, rate_bps=30e6)
+        assert burned_final < 0.75 * fresh_final
+
+    def test_loss_memory_decays(self):
+        ctrl = GccController(LUNA)
+        drive(ctrl, 10.0, rate_bps=10e6, loss=0.05)
+        peak = ctrl.loss_memory
+        drive(ctrl, 120.0, rate_bps=10e6)
+        assert ctrl.loss_memory < 0.2 * peak
+
+
+class TestThroughputTracking:
+    def test_receive_rate_collapse_clamps_target(self):
+        ctrl = GccController(STADIA)
+        ctrl.target = 25e6
+        # The collapse must coincide with real queueing to count.
+        ctrl.on_feedback(report(0.1, rate_bps=10e6, qdelay=0.02), 0.1)
+        assert ctrl.target == pytest.approx(10e6)
+        assert ctrl.track_clamps == 1
+
+    def test_collapse_without_queueing_is_ignored(self):
+        """Rate dips on an empty path are sampling noise, not congestion."""
+        ctrl = GccController(STADIA)
+        ctrl.target = 25e6
+        ctrl.on_feedback(report(0.1, rate_bps=10e6, qdelay=0.0), 0.1)
+        assert ctrl.track_clamps == 0
+
+    def test_small_samples_ignored(self):
+        ctrl = GccController(STADIA)
+        ctrl.target = 25e6
+        ctrl.on_feedback(report(0.1, rate_bps=1e6, qdelay=0.02, expected=3), 0.1)
+        assert ctrl.track_clamps == 0

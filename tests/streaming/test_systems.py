@@ -1,0 +1,88 @@
+"""Sanity tests on the calibrated system profiles.
+
+These lock in the *relationships* between the three services that the
+reproduction depends on -- if a future calibration pass breaks one of
+these orderings, the corresponding paper result will break with it.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.streaming.systems import GEFORCE, LUNA, STADIA, SYSTEMS, get_system
+
+
+class TestRegistry:
+    def test_three_systems(self):
+        assert set(SYSTEMS) == {"stadia", "geforce", "luna"}
+
+    def test_get_system(self):
+        assert get_system("stadia") is STADIA
+        with pytest.raises(ValueError):
+            get_system("xcloud")
+
+    def test_profiles_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            STADIA.max_bitrate = 1.0
+
+
+class TestCalibrationAnchors:
+    def test_ladder_tops_match_table1_ordering(self):
+        assert STADIA.max_bitrate > GEFORCE.max_bitrate > LUNA.max_bitrate
+
+    def test_luna_least_noisy(self):
+        """Table 1: Luna has the smallest bitrate standard deviation."""
+        assert LUNA.frame_noise < STADIA.frame_noise
+        assert LUNA.frame_noise < GEFORCE.frame_noise
+        assert LUNA.complexity_amplitude < STADIA.complexity_amplitude
+
+    def test_delay_sensitivity_ordering(self):
+        """GeForce defers first, Stadia last (Figure 3 personalities)."""
+        assert GEFORCE.delay_threshold < LUNA.delay_threshold < STADIA.delay_threshold
+
+    def test_thresholds_partition_queue_ladder(self):
+        """The queue delays at 0.5x/2x/7x BDP are ~8/33/115 ms; each
+        system's threshold must sit in the band that gives its paper
+        behaviour."""
+        base_rtt = 0.0165
+        q_small, q_typical, q_bloat = 0.5 * base_rtt, 2 * base_rtt, 7 * base_rtt
+        # GeForce: triggered by typical and bloated queues, not small.
+        assert q_small < GEFORCE.delay_threshold < q_typical
+        # Stadia: only bloated queues push it off.
+        assert q_typical < STADIA.delay_threshold < q_bloat
+
+    def test_loss_personalities(self):
+        """Stadia shrugs at loss; Luna reacts strongly (BBR starves it)."""
+        assert STADIA.loss_scale < LUNA.loss_scale
+        assert STADIA.loss_habituation > LUNA.loss_habituation
+        assert STADIA.loss_lo > LUNA.loss_lo
+
+    def test_only_luna_has_loss_memory(self):
+        """Figure 4b: only Luna's recovery collapses after a BBR episode."""
+        assert LUNA.loss_memory_penalty > 0
+        assert STADIA.loss_memory_penalty == 0
+        assert GEFORCE.loss_memory_penalty == 0
+
+    def test_geforce_slowest_ramp(self):
+        """GeForce has the slowest response/recovery ramp."""
+        assert GEFORCE.ramp_rate < STADIA.ramp_rate
+        assert GEFORCE.ramp_rate < LUNA.ramp_rate
+
+    def test_geforce_defends_frame_rate(self):
+        """Table 5: GeForce's fps policy barely reacts to loss."""
+        assert GEFORCE.fps_loss_mild > STADIA.fps_loss_mild
+        assert GEFORCE.fps_severe > STADIA.fps_severe
+
+    def test_only_luna_follows_rate(self):
+        """Table 5: Luna's 22 f/s floor comes from rate-tracking fps."""
+        assert LUNA.fps_follows_rate
+        assert not STADIA.fps_follows_rate
+        assert not GEFORCE.fps_follows_rate
+
+    def test_rate_bounds_sane(self):
+        for profile in SYSTEMS.values():
+            assert 0 < profile.min_bitrate < profile.start_bitrate
+            assert profile.start_bitrate < profile.max_bitrate
+            assert 0 < profile.loss_backoff < 1
+            assert 0 < profile.delay_backoff < 1
+            assert profile.fps == 60.0

@@ -1,0 +1,173 @@
+"""Unit tests for BBR's model and state machine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.node import NullSink
+from repro.tcp.base import RateSample, TcpSender
+from repro.tcp.bbr import DRAIN, PROBE_BW, PROBE_RTT, STARTUP, BbrCC
+
+
+def make_sender(cca=None):
+    sim = Simulator()
+    cca = cca or BbrCC()
+    sender = TcpSender(sim, "f", path=NullSink(), cca=cca)
+    return sim, sender, cca
+
+
+def sample(rate=1.25e6, rtt=0.02, delivered=0, prior=0):
+    return RateSample(
+        delivery_rate=rate, rtt=rtt, delivered=delivered,
+        prior_delivered=prior, interval=0.02, is_app_limited=False,
+    )
+
+
+def feed(sim, sender, cca, n, rate=1.25e6, rtt=0.02, per_round=10):
+    """Feed n ACKs, advancing rounds every `per_round` ACKs."""
+    delivered = sender.delivered
+    for i in range(n):
+        delivered += 1500
+        sender.delivered = delivered
+        prior = delivered - 1500 if i % per_round else delivered
+        cca.on_ack(sender, 1, sample(rate=rate, rtt=rtt,
+                                     delivered=delivered, prior=prior))
+
+
+class TestModel:
+    def test_bw_tracks_max_delivery_rate(self):
+        sim, sender, cca = make_sender()
+        feed(sim, sender, cca, 30, rate=1.0e6)
+        feed(sim, sender, cca, 30, rate=2.0e6)
+        assert cca.bw == pytest.approx(2.0e6)
+
+    def test_app_limited_samples_ignored_unless_higher(self):
+        sim, sender, cca = make_sender()
+        feed(sim, sender, cca, 10, rate=2.0e6)
+        limited = RateSample(
+            delivery_rate=0.5e6, rtt=0.02, delivered=sender.delivered + 1500,
+            prior_delivered=sender.delivered, interval=0.02, is_app_limited=True,
+        )
+        cca.on_ack(sender, 1, limited)
+        assert cca.bw == pytest.approx(2.0e6)
+
+    def test_min_rtt_tracked(self):
+        sim, sender, cca = make_sender()
+        feed(sim, sender, cca, 5, rtt=0.030)
+        feed(sim, sender, cca, 5, rtt=0.018)
+        feed(sim, sender, cca, 5, rtt=0.040)
+        assert cca.min_rtt == pytest.approx(0.018)
+
+    def test_bdp_consistency(self):
+        sim, sender, cca = make_sender()
+        feed(sim, sender, cca, 30, rate=1.25e6, rtt=0.02)
+        assert cca.bdp_bytes() == pytest.approx(1.25e6 * 0.02, rel=0.01)
+
+
+class TestStateMachine:
+    def test_starts_in_startup(self):
+        _, _, cca = make_sender()
+        assert cca.state == STARTUP
+        assert not cca.full_bw_reached
+
+    def test_plateau_exits_startup(self):
+        sim, sender, cca = make_sender()
+        # constant delivery rate across many rounds -> full_bw plateau
+        feed(sim, sender, cca, 100, rate=1.25e6, per_round=5)
+        assert cca.full_bw_reached
+        assert cca.state in (DRAIN, PROBE_BW)
+
+    def test_growth_keeps_startup(self):
+        sim, sender, cca = make_sender()
+        # Delivery rate grows >25% every ACK (and hence every round):
+        # the plateau detector must never fire.
+        rate = 1e6
+        delivered = 0
+        for _ in range(20):
+            delivered += 1500
+            sender.delivered = delivered
+            cca.on_ack(sender, 1, sample(rate=rate, delivered=delivered,
+                                         prior=delivered))
+            rate *= 1.35
+        assert cca.state == STARTUP
+        assert not cca.full_bw_reached
+
+    def test_drain_transitions_to_probe_bw_when_pipe_small(self):
+        sim, sender, cca = make_sender()
+        feed(sim, sender, cca, 100, rate=1.25e6, per_round=5)
+        sender.pipe = 0  # drained
+        feed(sim, sender, cca, 5, rate=1.25e6, per_round=5)
+        assert cca.state == PROBE_BW
+
+    def test_probe_bw_cycles_gains(self):
+        sim, sender, cca = make_sender()
+        feed(sim, sender, cca, 100, rate=1.25e6, per_round=5)
+        sender.pipe = 0
+        feed(sim, sender, cca, 5, rate=1.25e6)
+        assert cca.state == PROBE_BW
+        # Keep the pipe above the BDP so the 0.75 phase does not exit
+        # early, and sample the gain after every ACK.
+        sender.pipe = 100
+        gains = set()
+        for _ in range(60):
+            sim.schedule(0.025, lambda: None)
+            sim.step()
+            feed(sim, sender, cca, 1, rate=1.25e6, per_round=1)
+            gains.add(round(cca.pacing_gain, 3))
+        assert 1.25 in gains
+        assert 0.75 in gains
+        assert 1.0 in gains
+
+    def test_stale_min_rtt_enters_probe_rtt(self):
+        sim, sender, cca = make_sender()
+        feed(sim, sender, cca, 100, rate=1.25e6, per_round=5)
+        sim.schedule(11.0, lambda: None)
+        sim.step()  # advance the clock past the 10 s window
+        feed(sim, sender, cca, 1, rate=1.25e6, rtt=0.03)
+        assert cca.state == PROBE_RTT
+        assert sender.cwnd == 4.0
+
+
+class TestLossBehaviour:
+    def test_loss_does_not_touch_bw_model(self):
+        sim, sender, cca = make_sender()
+        feed(sim, sender, cca, 50, rate=1.25e6, per_round=5)
+        bw = cca.bw
+        cca.on_loss(sender)
+        assert cca.bw == bw
+
+    def test_packet_conservation_during_recovery(self):
+        sim, sender, cca = make_sender()
+        feed(sim, sender, cca, 100, rate=1.25e6, per_round=5)
+        sender.pipe = 5
+        cca.on_loss(sender)
+        sender.in_recovery = True
+        feed(sim, sender, cca, 1, rate=1.25e6)
+        assert sender.cwnd <= 10  # held near pipe, not the 2xBDP model
+
+    def test_recovery_exit_restores_model_window(self):
+        sim, sender, cca = make_sender()
+        feed(sim, sender, cca, 100, rate=1.25e6, per_round=5)
+        sender.pipe = 5
+        cca.on_loss(sender)
+        cca.on_recovery_exit(sender)
+        feed(sim, sender, cca, 60, rate=1.25e6, per_round=5)
+        bdp_segments = cca.bdp_bytes() / sender.segment_size
+        assert sender.cwnd == pytest.approx(
+            max(2.0 * bdp_segments, 4.0), rel=0.3
+        )
+
+    def test_rto_collapses_window(self):
+        sim, sender, cca = make_sender()
+        sender.cwnd = 50.0
+        cca.on_rto(sender)
+        assert sender.cwnd == 4.0
+
+
+class TestInflightCapAblation:
+    def test_custom_cwnd_gain(self):
+        sim, sender, cca = make_sender(BbrCC(cwnd_gain=10.0))
+        feed(sim, sender, cca, 100, rate=1.25e6, per_round=5)
+        sender.pipe = 0
+        feed(sim, sender, cca, 60, rate=1.25e6, per_round=5)
+        bdp_segments = cca.bdp_bytes() / sender.segment_size
+        assert sender.cwnd > 5 * bdp_segments

@@ -1,0 +1,107 @@
+"""Unit tests for Cubic's window arithmetic (RFC 8312)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.tcp.base import RateSample, TcpSender
+from repro.tcp.cubic import CubicCC
+from repro.sim.node import NullSink
+
+
+def make_sender(cca=None):
+    sim = Simulator()
+    sender = TcpSender(sim, "f", path=NullSink(), cca=cca or CubicCC())
+    return sim, sender
+
+
+def sample(rtt=0.02):
+    return RateSample(
+        delivery_rate=1e6, rtt=rtt, delivered=10_000, prior_delivered=0,
+        interval=0.02, is_app_limited=False,
+    )
+
+
+class TestSlowStart:
+    def test_cwnd_grows_per_ack(self):
+        sim, sender = make_sender()
+        start = sender.cwnd
+        sender.cca.on_ack(sender, 2, sample())
+        assert sender.cwnd == start + 2
+
+    def test_no_growth_during_recovery(self):
+        sim, sender = make_sender()
+        sender.in_recovery = True
+        start = sender.cwnd
+        sender.cca.on_ack(sender, 2, sample())
+        assert sender.cwnd == start
+
+
+class TestMultiplicativeDecrease:
+    def test_beta_07(self):
+        sim, sender = make_sender()
+        sender.cwnd = 100.0
+        sender.cca.on_loss(sender)
+        assert sender.cwnd == pytest.approx(70.0)
+        assert sender.ssthresh == pytest.approx(70.0)
+
+    def test_fast_convergence_lowers_wmax(self):
+        cca = CubicCC(fast_convergence=True)
+        sim, sender = make_sender(cca)
+        sender.cwnd = 100.0
+        cca.on_loss(sender)  # w_max = 100
+        sender.cwnd = 80.0  # lost again below previous w_max
+        cca.on_loss(sender)
+        assert cca.w_max == pytest.approx(80.0 * (1 + 0.7) / 2)
+
+    def test_without_fast_convergence(self):
+        cca = CubicCC(fast_convergence=False)
+        sim, sender = make_sender(cca)
+        sender.cwnd = 100.0
+        cca.on_loss(sender)
+        sender.cwnd = 80.0
+        cca.on_loss(sender)
+        assert cca.w_max == pytest.approx(80.0)
+
+    def test_floor_cwnd(self):
+        sim, sender = make_sender()
+        sender.cwnd = 1.0
+        sender.cca.on_loss(sender)
+        assert sender.cwnd >= 2.0
+
+
+class TestCubicGrowth:
+    def _run_ca(self, sender, sim, seconds, rtt=0.02):
+        """Drive congestion-avoidance ACKs at one-per-rtt granularity."""
+        cca = sender.cca
+        sender.ssthresh = 1.0  # force CA
+        steps = int(seconds / rtt)
+        for i in range(steps):
+            sim.schedule((i + 1) * rtt, lambda: None)
+        for i in range(steps):
+            sim.step()
+            cca.on_ack(sender, int(max(sender.cwnd / 2, 1)), sample(rtt))
+
+    def test_concave_then_convex_growth(self):
+        sim, sender = make_sender()
+        sender.cwnd = 70.0
+        sender.cca.w_max = 100.0
+        self._run_ca(sender, sim, 3.0)
+        # grows back toward and past w_max
+        assert sender.cwnd > 90.0
+
+    def test_k_computation(self):
+        cca = CubicCC()
+        sim, sender = make_sender(cca)
+        sender.cwnd = 70.0
+        cca.w_max = 100.0
+        sender.ssthresh = 1.0
+        cca.on_ack(sender, 1, sample())
+        # K = cbrt((w_max - cwnd)/C) = cbrt(30/0.4) = cbrt(75) ~ 4.217
+        assert cca.k == pytest.approx((30 / 0.4) ** (1 / 3), rel=1e-6)
+
+    def test_rto_collapses_to_one(self):
+        sim, sender = make_sender()
+        sender.cwnd = 50.0
+        sender.cca.on_rto(sender)
+        assert sender.cwnd == 1.0
+        assert sender.ssthresh == pytest.approx(35.0)

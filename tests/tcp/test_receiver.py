@@ -1,0 +1,85 @@
+"""Unit tests for the TCP receiver / ACK generator."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.node import CollectorSink
+from repro.sim.packet import DATA, Packet
+from repro.tcp.receiver import ACK_SIZE, TcpReceiver
+
+
+def data_pkt(seq, sent_at=0.0, retx=False):
+    return Packet(
+        "f", seq, 1500, kind=DATA, sent_at=sent_at,
+        meta={"retx": True} if retx else None,
+    )
+
+
+@pytest.fixture()
+def rx():
+    sim = Simulator()
+    acks = CollectorSink()
+    receiver = TcpReceiver(sim, "f", acks)
+    return sim, acks, receiver
+
+
+class TestCumulativeAck:
+    def test_in_order_advances(self, rx):
+        _, acks, receiver = rx
+        for seq in range(5):
+            receiver.receive(data_pkt(seq))
+        assert receiver.rcv_next == 5
+        assert acks.packets[-1].meta.ack == 5
+
+    def test_one_ack_per_segment(self, rx):
+        _, acks, receiver = rx
+        for seq in range(7):
+            receiver.receive(data_pkt(seq))
+        assert len(acks.packets) == 7
+        assert all(p.size == ACK_SIZE for p in acks.packets)
+
+    def test_gap_holds_cumulative_point(self, rx):
+        _, acks, receiver = rx
+        receiver.receive(data_pkt(0))
+        receiver.receive(data_pkt(2))  # hole at 1
+        assert receiver.rcv_next == 1
+        assert acks.packets[-1].meta.ack == 1
+        assert acks.packets[-1].meta.sacked_seq == 2
+
+    def test_hole_fill_jumps_cumulative_point(self, rx):
+        _, acks, receiver = rx
+        receiver.receive(data_pkt(0))
+        receiver.receive(data_pkt(2))
+        receiver.receive(data_pkt(3))
+        receiver.receive(data_pkt(1))  # fills the hole
+        assert receiver.rcv_next == 4
+        assert acks.packets[-1].meta.ack == 4
+
+    def test_duplicates_counted_not_advancing(self, rx):
+        _, acks, receiver = rx
+        receiver.receive(data_pkt(0))
+        receiver.receive(data_pkt(0))
+        assert receiver.rcv_next == 1
+        assert receiver.duplicate_segments == 1
+        assert len(acks.packets) == 2  # dupes still trigger ACKs
+
+
+class TestAckMetadata:
+    def test_timestamp_echo(self, rx):
+        _, acks, receiver = rx
+        receiver.receive(data_pkt(0, sent_at=1.234))
+        assert acks.packets[0].meta.ts_echo == 1.234
+
+    def test_retransmit_flag_echoed(self, rx):
+        _, acks, receiver = rx
+        receiver.receive(data_pkt(0, retx=True))
+        assert acks.packets[0].meta.is_retransmit_echo
+        receiver.receive(data_pkt(1))
+        assert not acks.packets[1].meta.is_retransmit_echo
+
+    def test_byte_accounting(self, rx):
+        _, _, receiver = rx
+        for seq in range(3):
+            receiver.receive(data_pkt(seq))
+        assert receiver.bytes_received == 4500
+        assert receiver.segments_received == 3

@@ -1,0 +1,72 @@
+"""Unit tests for the RFC 6298 RTT estimator."""
+
+import pytest
+
+from repro.tcp.rtt import RttEstimator
+
+
+def test_initial_rto_is_one_second():
+    assert RttEstimator().rto == 1.0
+
+
+def test_first_sample_initialises_srtt():
+    est = RttEstimator()
+    est.update(0.100)
+    assert est.srtt == pytest.approx(0.100)
+    assert est.rttvar == pytest.approx(0.050)
+    assert est.rto == pytest.approx(0.300)
+
+
+def test_constant_rtt_converges():
+    est = RttEstimator()
+    for _ in range(100):
+        est.update(0.050)
+    assert est.srtt == pytest.approx(0.050, rel=1e-3)
+    assert est.rttvar < 0.001
+
+
+def test_min_rto_floor():
+    est = RttEstimator(min_rto=0.2)
+    for _ in range(100):
+        est.update(0.010)
+    assert est.rto == 0.2
+
+
+def test_max_rto_ceiling():
+    est = RttEstimator(max_rto=60.0)
+    est.update(100.0)
+    assert est.rto == 60.0
+
+
+def test_min_rtt_tracked():
+    est = RttEstimator()
+    for rtt in (0.030, 0.020, 0.040):
+        est.update(rtt)
+    assert est.min_rtt == pytest.approx(0.020)
+
+
+def test_variance_reacts_to_jitter():
+    est = RttEstimator()
+    for i in range(50):
+        est.update(0.050 if i % 2 == 0 else 0.150)
+    assert est.rttvar > 0.02
+
+
+def test_rejects_nonpositive_rtt():
+    est = RttEstimator()
+    with pytest.raises(ValueError):
+        est.update(0.0)
+
+
+def test_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        RttEstimator(min_rto=0)
+    with pytest.raises(ValueError):
+        RttEstimator(min_rto=1.0, max_rto=0.5)
+
+
+def test_sample_counter():
+    est = RttEstimator()
+    for _ in range(7):
+        est.update(0.02)
+    assert est.samples == 7

@@ -1,0 +1,162 @@
+"""Edge-case tests for the TCP sender machinery: lossy paths, RTO
+recovery, pacing, and the head-of-line rescue."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.netem import NetemDelay
+from repro.sim.node import CollectorSink, NullSink
+from repro.tcp import TcpSender, make_cca
+from repro.tcp.receiver import TcpReceiver
+
+
+class LossyPath:
+    """Deterministically drops the data packets whose seq is listed
+    (first transmission only), then delivers the rest after a delay."""
+
+    def __init__(self, sim, sink, drop_seqs, delay=0.01):
+        self.sim = sim
+        self.sink = sink
+        self.drop_seqs = set(drop_seqs)
+        self.delay = delay
+        self.delivered = 0
+
+    def receive(self, pkt):
+        if pkt.seq in self.drop_seqs and not (pkt.meta and pkt.meta.get("retx")):
+            self.drop_seqs.discard(pkt.seq)
+            return
+        self.delivered += 1
+        self.sim.schedule(self.delay, self.sink.receive, pkt)
+
+
+def wire(drop_seqs=(), cca="cubic"):
+    sim = Simulator()
+    holder = {}
+
+    class _Back:
+        def receive(self, pkt):
+            holder["sender"].receive(pkt)
+
+    ack_path = NetemDelay(sim, delay=0.01, sink=_Back())
+    receiver = TcpReceiver(sim, "f", ack_path)
+    path = LossyPath(sim, receiver, drop_seqs)
+    sender = TcpSender(sim, "f", path=path, cca=make_cca(cca))
+    holder["sender"] = sender
+    return sim, sender, receiver, path
+
+
+class TestFastRetransmit:
+    def test_single_hole_repaired_without_rto(self):
+        sim, sender, receiver, _ = wire(drop_seqs=[5])
+        sender.start()
+        sim.run(until=2.0)
+        sender.stop()
+        assert receiver.rcv_next > 100
+        assert sender.retransmits == 1
+        assert sender.rto_events == 0
+        assert sender.loss_events == 1
+
+    def test_burst_loss_repaired(self):
+        sim, sender, receiver, _ = wire(drop_seqs=[10, 11, 12, 13])
+        sender.start()
+        sim.run(until=3.0)
+        assert receiver.rcv_next > 100
+        assert sender.retransmits >= 4
+        # one recovery episode, not four window cuts
+        assert sender.loss_events == 1
+
+    def test_lost_retransmission_rescued(self):
+        """A hole whose retransmission also dies must still be repaired
+        (head-of-line rescue or RTO), not wedge the connection."""
+        sim, sender, receiver, path = wire(drop_seqs=[5])
+
+        # also kill the first retransmission of seq 5
+        original_receive = path.receive
+        state = {"killed_retx": False}
+
+        def killer(pkt):
+            if pkt.seq == 5 and pkt.meta and pkt.meta.get("retx") and not state["killed_retx"]:
+                state["killed_retx"] = True
+                return
+            original_receive(pkt)
+
+        path.receive = killer
+        sender.start()
+        sim.run(until=5.0)
+        assert state["killed_retx"]
+        assert receiver.rcv_next > 200
+        assert sender.retransmits >= 2
+
+
+class TestRto:
+    def test_total_blackout_recovers_by_rto(self):
+        """Drop an entire window: only the RTO can recover."""
+        sim, sender, receiver, _ = wire(drop_seqs=range(0, 10))
+        sender.start()
+        sim.run(until=5.0)
+        assert sender.rto_events >= 1
+        assert receiver.rcv_next > 50
+
+    def test_rto_backoff_doubles_then_resets(self):
+        sim, sender, receiver, path = wire()
+        # total blackout: nothing reaches the receiver at all
+        original_receive = path.receive
+        path.receive = lambda pkt: None
+        sender.start()
+        sim.run(until=4.0)
+        assert sender.rto_events >= 2
+        assert sender._rto_backoff > 1.0
+        # restore the path; progress resets the backoff
+        path.receive = original_receive
+        sim.run(until=8.0)
+        assert sender._rto_backoff == 1.0
+        assert receiver.rcv_next > 0
+
+
+class TestPacing:
+    def test_paced_sender_spreads_transmissions(self):
+        sim = Simulator()
+        sink = CollectorSink()
+        sender = TcpSender(sim, "f", path=sink, cca=make_cca("cubic"))
+        sender.cwnd = 10
+        sender.pacing_rate = 150_000.0  # bytes/s -> 10 ms per 1500 B segment
+        sender.start()
+        sim.run(until=0.5)
+        times = [p.sent_at for p in sink.packets]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # after the initial catch-up allowance, gaps settle at ~10 ms
+        assert gaps[-1] == pytest.approx(0.01, rel=0.05)
+
+    def test_unpaced_sender_bursts_window(self):
+        sim = Simulator()
+        sink = CollectorSink()
+        sender = TcpSender(sim, "f", path=sink, cca=make_cca("cubic"))
+        sender.start()
+        # initial window sent immediately
+        assert len(sink.packets) == 10
+        assert all(p.sent_at == 0.0 for p in sink.packets)
+
+
+class TestLifecycle:
+    def test_start_idempotent(self):
+        sim = Simulator()
+        sink = NullSink()
+        sender = TcpSender(sim, "f", path=sink, cca=make_cca("cubic"))
+        sender.start()
+        first = sender.segments_sent
+        sender.start()
+        assert sender.segments_sent == first
+
+    def test_stop_before_start_is_noop(self):
+        sim = Simulator()
+        sender = TcpSender(sim, "f", path=NullSink(), cca=make_cca("cubic"))
+        sender.stop()
+        assert not sender.running
+
+    def test_stop_records_time(self):
+        sim = Simulator()
+        sender = TcpSender(sim, "f", path=NullSink(), cca=make_cca("cubic"))
+        sender.start()
+        sim.schedule(1.5, sender.stop)
+        sim.run(until=2.0)
+        assert sender.stop_time == 1.5

@@ -1,0 +1,171 @@
+"""End-to-end TCP behaviour through a bottleneck link.
+
+These are the checks that the substrate behaves like the kernel stacks
+the paper relies on: flows saturate the link, Cubic fills drop-tail
+queues (RTT inflation), BBR bounds queueing near its 2xBDP inflight cap,
+and loss recovery works.
+"""
+
+import pytest
+
+from tests.helpers import make_tcp_testbed
+
+
+class TestBulkTransfer:
+    @pytest.mark.parametrize("cca", ["cubic", "bbr", "reno", "vegas"])
+    def test_saturates_bottleneck(self, cca):
+        tb = make_tcp_testbed(cca=cca, rate_bps=10e6, rtt=0.020, queue_bdp=2.0)
+        tb.sender.start()
+        tb.sim.run(until=10.0)
+        # steady-state window: skip the first 2 seconds
+        rate = tb.throughput_bps(2.0, 10.0)
+        assert rate > 0.88 * 10e6, f"{cca} got only {rate / 1e6:.2f} Mb/s"
+        assert rate < 1.02 * 10e6
+
+    def test_receiver_gets_contiguous_data(self):
+        tb = make_tcp_testbed(cca="cubic")
+        tb.sender.start()
+        tb.sim.run(until=5.0)
+        assert tb.receiver.rcv_next > 1000
+        # no permanent holes: cumulative point tracks segments sent
+        assert tb.receiver.rcv_next >= tb.sender.snd_una
+
+    def test_stop_halts_transmission(self):
+        tb = make_tcp_testbed(cca="cubic")
+        tb.sender.start()
+        tb.sim.run(until=3.0)
+        tb.sender.stop()
+        sent_at_stop = tb.sender.segments_sent
+        tb.sim.run(until=6.0)
+        assert tb.sender.segments_sent == sent_at_stop
+
+    def test_pipe_accounting_never_negative(self):
+        tb = make_tcp_testbed(cca="cubic", queue_bdp=0.5)
+        tb.sender.start()
+        for t in range(1, 50):
+            tb.sim.run(until=t * 0.1)
+            assert tb.sender.pipe >= 0
+
+
+class TestCubicDynamics:
+    def test_losses_occur_at_small_queue(self):
+        tb = make_tcp_testbed(cca="cubic", queue_bdp=0.5)
+        tb.sender.start()
+        tb.sim.run(until=10.0)
+        assert tb.sender.loss_events > 0
+        assert tb.sender.retransmits > 0
+
+    def test_cubic_fills_large_queue(self):
+        """Cubic pushes RTT toward the queue limit (paper Table 4)."""
+        rtt = 0.020
+        tb = make_tcp_testbed(cca="cubic", rate_bps=10e6, rtt=rtt, queue_bdp=7.0)
+        tb.sender.start()
+        tb.sim.run(until=20.0)
+        # srtt should be well above base rtt: queue delay is up to 7*rtt
+        assert tb.sender.rtt.srtt > rtt * 3
+
+    def test_window_halving_on_loss(self):
+        tb = make_tcp_testbed(cca="cubic", queue_bdp=1.0)
+        tb.sender.start()
+        seen = []
+        for t in range(1, 100):
+            tb.sim.run(until=t * 0.1)
+            seen.append(tb.sender.cwnd)
+        assert max(seen) > 1.3 * min(seen[10:])  # sawtooth, not flat
+
+
+class TestBbrDynamics:
+    def test_bbr_model_converges(self):
+        tb = make_tcp_testbed(cca="bbr", rate_bps=10e6, rtt=0.020, queue_bdp=2.0)
+        tb.sender.start()
+        tb.sim.run(until=10.0)
+        cca = tb.sender.cca
+        assert cca.min_rtt == pytest.approx(0.020, rel=0.3)
+        # bw estimate in bytes/s; 10 Mb/s = 1.25 MB/s
+        assert cca.bw == pytest.approx(1.25e6, rel=0.15)
+
+    def test_bbr_exits_startup(self):
+        tb = make_tcp_testbed(cca="bbr", rate_bps=10e6, rtt=0.020, queue_bdp=2.0)
+        tb.sender.start()
+        tb.sim.run(until=5.0)
+        assert tb.sender.cca.full_bw_reached
+        assert tb.sender.cca.state in ("probe_bw", "probe_rtt")
+
+    def test_bbr_keeps_queue_below_cubic(self):
+        """BBR's 2xBDP cap bounds queueing; Cubic fills the buffer."""
+        rtt = 0.020
+        results = {}
+        for cca in ("cubic", "bbr"):
+            tb = make_tcp_testbed(cca=cca, rate_bps=10e6, rtt=rtt, queue_bdp=7.0)
+            tb.sender.start()
+            tb.sim.run(until=20.0)
+            results[cca] = tb.sender.rtt.srtt
+        assert results["bbr"] < 0.6 * results["cubic"], (
+            f"bbr srtt {results['bbr'] * 1e3:.1f}ms vs cubic "
+            f"{results['cubic'] * 1e3:.1f}ms"
+        )
+
+    def test_bbr_paces(self):
+        tb = make_tcp_testbed(cca="bbr")
+        tb.sender.start()
+        tb.sim.run(until=5.0)
+        assert tb.sender.pacing_rate is not None
+        assert tb.sender.pacing_rate > 0
+
+
+class TestFairness:
+    def _two_flows(self, cca_a, cca_b, seconds=30.0, rate=10e6, rtt=0.020, bdp=2.0):
+        """Two senders sharing one bottleneck queue."""
+        from repro.sim.engine import Simulator
+        from repro.sim.link import Link
+        from repro.sim.netem import NetemDelay
+        from repro.sim.node import Demux, Tap
+        from repro.sim.queues import DropTailQueue
+        from repro.tcp import TcpSender, make_cca
+        from repro.tcp.receiver import TcpReceiver
+
+        sim = Simulator()
+        bdp_bytes = rate * rtt / 8.0
+        queue = DropTailQueue(sim, limit_bytes=int(bdp * bdp_bytes))
+        received = {"a": 0, "b": 0}
+
+        def record(pkt):
+            received[pkt.flow] += pkt.size
+
+        demux = Demux()
+        link = Link(sim, rate_bps=rate, delay=rtt / 2, sink=Tap(demux, record), queue=queue)
+
+        senders = {}
+
+        class _Back:
+            def __init__(self, name):
+                self.name = name
+
+            def receive(self, pkt):
+                senders[self.name].receive(pkt)
+
+        for name, cca in (("a", cca_a), ("b", cca_b)):
+            ack_path = NetemDelay(sim, delay=rtt / 2, sink=_Back(name))
+            receiver = TcpReceiver(sim, name, ack_path)
+            demux.route(name, receiver)
+            senders[name] = TcpSender(sim, name, path=link, cca=make_cca(cca))
+
+        senders["a"].start()
+        senders["b"].start()
+        sim.run(until=seconds)
+        return received["a"] * 8 / seconds, received["b"] * 8 / seconds
+
+    def test_cubic_vs_cubic_roughly_fair(self):
+        a, b = self._two_flows("cubic", "cubic")
+        assert a + b > 0.85 * 10e6
+        assert 0.4 < a / (a + b) < 0.6
+
+    def test_bbr_vs_bbr_roughly_fair(self):
+        a, b = self._two_flows("bbr", "bbr")
+        assert a + b > 0.85 * 10e6
+        assert 0.3 < a / (a + b) < 0.7
+
+    def test_mixed_flows_both_survive(self):
+        a, b = self._two_flows("cubic", "bbr")
+        assert a > 0.05 * 10e6
+        assert b > 0.05 * 10e6

@@ -1,0 +1,81 @@
+"""Unit tests for the windowed min/max filters."""
+
+import pytest
+
+from repro.tcp.windowed_filter import WindowedMaxFilter, WindowedMinFilter
+
+
+class TestWindowedMaxFilter:
+    def test_empty_filter_has_no_value(self):
+        assert WindowedMaxFilter(10).value is None
+
+    def test_tracks_maximum(self):
+        f = WindowedMaxFilter(10)
+        f.update(0, 5.0)
+        f.update(1, 3.0)
+        f.update(2, 8.0)
+        assert f.value == 8.0
+
+    def test_old_maximum_expires(self):
+        f = WindowedMaxFilter(10)
+        f.update(0, 100.0)
+        for t in range(1, 25):
+            f.update(t, 10.0)
+        assert f.value == 10.0
+
+    def test_second_best_promoted_on_expiry(self):
+        f = WindowedMaxFilter(10)
+        f.update(0, 100.0)
+        f.update(5, 50.0)
+        for t in range(6, 14):
+            f.update(t, 10.0)
+        # best (100 @ t=0) has expired by t=11; 50 @ t=5 still in window
+        assert f.value == 50.0
+
+    def test_new_maximum_resets_window(self):
+        f = WindowedMaxFilter(10)
+        f.update(0, 5.0)
+        f.update(1, 50.0)
+        assert f.value == 50.0
+        f.update(2, 49.0)
+        assert f.value == 50.0
+
+    def test_equal_value_refreshes_timestamp(self):
+        f = WindowedMaxFilter(10)
+        f.update(0, 50.0)
+        f.update(8, 50.0)
+        for t in range(9, 17):
+            f.update(t, 10.0)
+        assert f.value == 50.0  # refreshed at t=8, still valid at t=16
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedMaxFilter(0)
+
+
+class TestWindowedMinFilter:
+    def test_tracks_minimum(self):
+        f = WindowedMinFilter(10.0)
+        f.update(0.0, 20.0)
+        f.update(1.0, 16.5)
+        f.update(2.0, 30.0)
+        assert f.value == 16.5
+
+    def test_old_minimum_expires(self):
+        f = WindowedMinFilter(10.0)
+        f.update(0.0, 5.0)
+        for t in range(1, 25):
+            f.update(float(t), 16.5)
+        assert f.value == 16.5
+
+    def test_monotone_decreasing_always_current(self):
+        f = WindowedMinFilter(10.0)
+        for t in range(30):
+            f.update(float(t), 100.0 - t)
+        assert f.value == pytest.approx(71.0)
+
+    def test_reset(self):
+        f = WindowedMinFilter(10.0)
+        f.update(0.0, 5.0)
+        f.reset(50.0, 42.0)
+        assert f.value == 42.0

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface (smoke-scale runs)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_command_prints_summary(capsys):
+    rc = main(["run", "--system", "luna", "--cca", "cubic",
+               "--capacity", "25", "--queue", "2", "--profile", "smoke"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "baseline bitrate" in out
+    assert "game / iperf" in out
+    assert "mean RTT" in out
+
+
+def test_run_solo_omits_fairness(capsys):
+    rc = main(["run", "--system", "stadia", "--capacity", "25",
+               "--queue", "2", "--profile", "smoke"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "game / iperf" not in out
+
+
+def test_run_json_output(capsys):
+    rc = main(["run", "--system", "geforce", "--cca", "bbr",
+               "--capacity", "15", "--queue", "0.5", "--profile", "smoke",
+               "--json"])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["system"] == "geforce"
+    assert data["cca"] == "bbr"
+    assert len(data["times"]) == len(data["game_bps"])
+
+
+def test_condition_command(capsys):
+    rc = main(["condition", "--system", "luna", "--cca", "cubic",
+               "--capacity", "25", "--queue", "2", "--profile", "smoke",
+               "--iterations", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fairness ratio" in out
+    assert "response time" in out
+    assert "frame rate" in out
+
+
+def test_invalid_system_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--system", "psnow", "--profile", "smoke"])
+
+
+def test_invalid_cca_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--system", "luna", "--cca", "quic", "--profile", "smoke"])

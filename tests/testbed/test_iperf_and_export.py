@@ -1,0 +1,129 @@
+"""Tests for the iperf application wrapper, trace export, and the
+random-loss testbed option."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.netem import NetemDelay
+from repro.sim.node import CollectorSink, Tap
+from repro.sim.packet import MEDIA, Packet
+from repro.sim.queues import DropTailQueue
+from repro.testbed.capture import PacketCapture
+from repro.testbed.iperf import IperfFlow
+from repro.testbed.tc import RouterConfig
+from repro.testbed.topology import GameStreamingTestbed
+
+
+class TestIperfFlow:
+    def _testbed(self, cca="cubic"):
+        sim = Simulator()
+        received = []
+        holder = {}
+
+        class _Back:
+            def receive(self, pkt):
+                holder["flow"].sender.receive(pkt)
+
+        queue = DropTailQueue(sim, limit_bytes=100_000)
+        ack_path = NetemDelay(sim, delay=0.008, sink=_Back())
+
+        flow = None
+        link = None
+
+        def build():
+            nonlocal flow, link
+            from repro.tcp.receiver import TcpReceiver
+
+            receiver = TcpReceiver(sim, "iperf", ack_path)
+            link = Link(
+                sim, rate_bps=10e6, delay=0.008,
+                sink=Tap(receiver, lambda p: received.append(sim.now)),
+                queue=queue,
+            )
+            flow = IperfFlow(sim, "iperf", cca, downlink_path=link, uplink_path=ack_path)
+            # re-route acks through the real receiver
+            flow.receiver = receiver
+            holder["flow"] = flow
+
+        build()
+        return sim, flow, received
+
+    def test_respects_schedule(self):
+        sim, flow, received = self._testbed()
+        flow.schedule(1.0, 3.0)
+        sim.run(until=0.9)
+        assert not received
+        sim.run(until=2.0)
+        assert received
+        sim.run(until=5.0)
+        last_arrival = max(received)
+        assert last_arrival < 3.5  # drains shortly after the stop
+
+    def test_bytes_delivered_property(self):
+        sim, flow, _ = self._testbed()
+        flow.schedule(0.0, 2.0)
+        sim.run(until=2.0)
+        assert flow.bytes_delivered > 1e6
+
+    def test_invalid_schedule(self):
+        sim, flow, _ = self._testbed()
+        with pytest.raises(ValueError):
+            flow.schedule(2.0, 2.0)
+
+
+class TestCsvExport:
+    def _capture(self):
+        sim = Simulator()
+        capture = PacketCapture(sim)
+        for i in range(5):
+            sim.schedule(i * 0.1, capture.tap, Packet("a", i, 1000, kind=MEDIA))
+            sim.schedule(i * 0.1 + 0.05, capture.tap, Packet("b", i, 500, kind=MEDIA))
+        sim.run()
+        return capture
+
+    def test_round_trip(self, tmp_path):
+        capture = self._capture()
+        path = tmp_path / "trace.csv"
+        rows = capture.to_csv(path)
+        assert rows == 10
+        lines = path.read_text().splitlines()
+        assert lines[0] == "time,flow,size"
+        assert len(lines) == 11
+
+    def test_time_ordered_across_flows(self, tmp_path):
+        capture = self._capture()
+        path = tmp_path / "trace.csv"
+        capture.to_csv(path)
+        times = [float(line.split(",")[0]) for line in path.read_text().splitlines()[1:]]
+        assert times == sorted(times)
+
+    def test_flow_filter(self, tmp_path):
+        capture = self._capture()
+        path = tmp_path / "trace.csv"
+        rows = capture.to_csv(path, flows=["b"])
+        assert rows == 5
+        assert all(",b," in line for line in path.read_text().splitlines()[1:])
+
+
+class TestRandomLossOption:
+    def test_loss_stage_drops_and_counts(self):
+        tb = GameStreamingTestbed(
+            "luna", RouterConfig(1e9, 2.0), seed=5, random_loss=0.05
+        )
+        tb.start_game()
+        tb.run(until=20.0)
+        assert tb.loss_stage is not None
+        assert tb.loss_stage.drops > 100
+        # drops are attributed to the media flow's statistics
+        assert tb.game_loss_rate() == pytest.approx(0.05, abs=0.02)
+
+    def test_zero_loss_has_no_stage(self):
+        tb = GameStreamingTestbed("luna", RouterConfig(1e9, 2.0), seed=5)
+        assert tb.loss_stage is None
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            GameStreamingTestbed(
+                "luna", RouterConfig(1e9, 2.0), seed=5, random_loss=1.5
+            )

@@ -1,0 +1,76 @@
+"""Unit tests for tc-style router configuration helpers."""
+
+import pytest
+
+from repro.testbed.tc import (
+    RouterConfig,
+    TARGET_RTT,
+    bdp_bytes,
+    queue_limit_bytes,
+    render_tc_script,
+)
+
+
+class TestBdp:
+    def test_bdp_at_paper_rtt(self):
+        # 25 Mb/s * 16.5 ms = 412500 bits = 51562.5 bytes
+        assert bdp_bytes(25e6) == pytest.approx(51562.5)
+
+    def test_bdp_scales_with_rate(self):
+        assert bdp_bytes(35e6) / bdp_bytes(15e6) == pytest.approx(35 / 15)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            bdp_bytes(0)
+        with pytest.raises(ValueError):
+            bdp_bytes(1e6, rtt=0)
+
+
+class TestQueueLimit:
+    @pytest.mark.parametrize("mult", [0.5, 2.0, 7.0])
+    def test_multiples(self, mult):
+        assert queue_limit_bytes(25e6, mult) == int(mult * bdp_bytes(25e6))
+
+    def test_minimum_floor(self):
+        # tiny rate: still room for at least two full packets
+        assert queue_limit_bytes(1e5, 0.5) >= 3000
+
+    def test_invalid_mult_rejected(self):
+        with pytest.raises(ValueError):
+            queue_limit_bytes(25e6, 0)
+
+
+class TestRouterConfig:
+    def test_max_queue_delay(self):
+        config = RouterConfig(25e6, 2.0)
+        # 2x BDP drains in 2 * rtt
+        assert config.max_queue_delay == pytest.approx(2 * TARGET_RTT, rel=0.01)
+
+    def test_queue_delay_independent_of_capacity(self):
+        """Queue delay in BDP multiples depends only on the RTT."""
+        d15 = RouterConfig(15e6, 7.0).max_queue_delay
+        d35 = RouterConfig(35e6, 7.0).max_queue_delay
+        assert d15 == pytest.approx(d35, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RouterConfig(0, 2.0)
+        with pytest.raises(ValueError):
+            RouterConfig(25e6, -1)
+        with pytest.raises(ValueError):
+            RouterConfig(25e6, 2.0, rtt=0)
+
+
+class TestRenderScript:
+    def test_contains_paper_parameters(self):
+        script = render_tc_script(RouterConfig(15e6, 2.0), added_delay=0.004)
+        assert "netem delay 4.0ms" in script
+        assert "tbf rate 15mbit" in script
+        assert "limit" in script
+
+    def test_two_qdiscs_chained(self):
+        script = render_tc_script(RouterConfig(25e6, 0.5), added_delay=0.012)
+        lines = script.splitlines()
+        assert len(lines) == 2
+        assert "root handle 1:" in lines[0]
+        assert "parent 1:" in lines[1]

@@ -1,0 +1,140 @@
+"""Integration tests for the full dumbbell testbed."""
+
+import pytest
+
+from repro.testbed.tc import RouterConfig
+from repro.testbed.topology import GameStreamingTestbed
+
+
+class TestSoloRuns:
+    def test_solo_stream_reaches_near_capacity(self):
+        tb = GameStreamingTestbed("luna", RouterConfig(25e6, 2.0), seed=1)
+        tb.start_game()
+        tb.run(until=60.0)
+        rate = tb.capture.throughput_bps("luna", 30, 60)
+        assert rate > 0.85 * 25e6
+
+    def test_solo_stream_low_loss(self):
+        tb = GameStreamingTestbed("luna", RouterConfig(25e6, 2.0), seed=1)
+        tb.start_game()
+        tb.run(until=60.0)
+        assert tb.game_loss_rate() < 0.01
+
+    def test_rtt_near_equalised_base(self):
+        tb = GameStreamingTestbed("geforce", RouterConfig(25e6, 2.0), seed=1)
+        tb.start_game()
+        tb.run(until=40.0)
+        rtts = tb.prober.rtts_in_window(20, 40)
+        assert 0.016 < rtts.mean() < 0.025
+
+    def test_unconstrained_hits_profile_max(self):
+        tb = GameStreamingTestbed("stadia", RouterConfig(1e9, 2.0), seed=1)
+        tb.start_game()
+        tb.run(until=60.0)
+        rate = tb.capture.throughput_bps("stadia", 40, 60)
+        assert rate == pytest.approx(tb.profile.max_bitrate, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        rates = []
+        for _ in range(2):
+            tb = GameStreamingTestbed("luna", RouterConfig(25e6, 2.0), seed=42)
+            tb.start_game()
+            tb.run(until=20.0)
+            rates.append(tb.capture.byte_count("luna"))
+        assert rates[0] == rates[1]
+
+    def test_different_seeds_differ(self):
+        counts = set()
+        for seed in (1, 2, 3):
+            tb = GameStreamingTestbed("luna", RouterConfig(25e6, 2.0), seed=seed)
+            tb.start_game()
+            tb.run(until=20.0)
+            counts.add(tb.capture.byte_count("luna"))
+        assert len(counts) == 3
+
+
+class TestCompetingRuns:
+    def test_iperf_takes_share(self):
+        tb = GameStreamingTestbed(
+            "luna", RouterConfig(25e6, 2.0), seed=1, competing_cca="cubic"
+        )
+        tb.start_game()
+        tb.schedule_iperf(20.0, 50.0)
+        tb.run(until=60.0)
+        game = tb.capture.throughput_bps("luna", 30, 50)
+        iperf = tb.capture.throughput_bps("iperf", 30, 50)
+        assert iperf > 0.15 * 25e6
+        assert game > 0.1 * 25e6
+        assert game + iperf > 0.8 * 25e6
+
+    def test_rtt_inflates_under_cubic(self):
+        tb = GameStreamingTestbed(
+            "luna", RouterConfig(25e6, 7.0), seed=1, competing_cca="cubic"
+        )
+        tb.start_game()
+        tb.schedule_iperf(20.0, 60.0)
+        tb.run(until=60.0)
+        before = tb.prober.rtts_in_window(10, 20).mean()
+        during = tb.prober.rtts_in_window(35, 60).mean()
+        assert during > 3 * before
+
+    def test_bbr_bounds_queue_relative_to_cubic(self):
+        rtts = {}
+        for cca in ("cubic", "bbr"):
+            tb = GameStreamingTestbed(
+                "geforce", RouterConfig(25e6, 7.0), seed=1, competing_cca=cca
+            )
+            tb.start_game()
+            tb.schedule_iperf(20.0, 60.0)
+            tb.run(until=60.0)
+            rtts[cca] = tb.prober.rtts_in_window(35, 60).mean()
+        assert rtts["bbr"] < 0.85 * rtts["cubic"]
+
+    def test_schedule_iperf_requires_competitor(self):
+        tb = GameStreamingTestbed("luna", RouterConfig(25e6, 2.0), seed=1)
+        with pytest.raises(RuntimeError):
+            tb.schedule_iperf(10.0, 20.0)
+
+    def test_stats_track_all_flows(self):
+        tb = GameStreamingTestbed(
+            "stadia", RouterConfig(25e6, 0.5), seed=1, competing_cca="cubic"
+        )
+        tb.start_game()
+        tb.schedule_iperf(10.0, 30.0)
+        tb.run(until=30.0)
+        assert tb.stats.for_flow("stadia").packets_sent > 1000
+        assert tb.stats.for_flow("iperf").packets_sent > 100
+        # drop-tail at 0.5x BDP with contention must drop something
+        assert tb.queue.drops > 0
+
+
+class TestQdiscVariants:
+    def test_invalid_qdisc_rejected(self):
+        with pytest.raises(ValueError):
+            GameStreamingTestbed("luna", RouterConfig(25e6, 2.0), qdisc="red")
+
+    @pytest.mark.parametrize("qdisc", ["codel", "fq_codel"])
+    def test_aqm_runs_and_keeps_delay_low(self, qdisc):
+        tb = GameStreamingTestbed(
+            "luna", RouterConfig(25e6, 7.0), seed=1, competing_cca="cubic", qdisc=qdisc
+        )
+        tb.start_game()
+        tb.schedule_iperf(15.0, 45.0)
+        tb.run(until=45.0)
+        during = tb.prober.rtts_in_window(25, 45).mean()
+        # AQM keeps the 7x-BDP queue from filling: RTT far below drop-tail's ~110 ms
+        assert during < 0.060
+
+    def test_fq_codel_isolates_game_from_bulk(self):
+        """Flow queuing should give the game a safer share than drop-tail."""
+        shares = {}
+        for qdisc in ("droptail", "fq_codel"):
+            tb = GameStreamingTestbed(
+                "geforce", RouterConfig(25e6, 2.0), seed=2, competing_cca="cubic",
+                qdisc=qdisc,
+            )
+            tb.start_game()
+            tb.schedule_iperf(15.0, 45.0)
+            tb.run(until=45.0)
+            shares[qdisc] = tb.capture.throughput_bps("geforce", 25, 45)
+        assert shares["fq_codel"] > shares["droptail"]
