@@ -1,0 +1,104 @@
+"""Event-loop micro-benchmarks: the cost of disabled tracepoints.
+
+The observability layer promises that instrumented components cost
+(almost) nothing when no sink is attached: every probe is one attribute
+load plus a branch behind ``if tracer.enabled:``.  These benchmarks put
+a number on that promise at two levels:
+
+- the raw dispatch loop (schedule/fire a self-rescheduling callback),
+  with and without a profiler attached;
+- a full smoke-scale testbed run with tracing disabled (the default),
+  enabled into a memory sink, and disabled-with-profiler.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_engine_microbench.py``
+(pytest's ``testpaths`` keeps them out of the tier-1 suite).  The
+acceptance bound for the observability PR was <5% regression of the
+disabled-tracing event loop against the pre-instrumentation seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import RunConfig, SMOKE, run_single
+from repro.obs import MemorySink, SimProfiler, Tracer
+from repro.sim.engine import Simulator
+
+_EVENTS = 200_000
+
+
+def _spin(sim: Simulator, budget: list) -> None:
+    if budget[0] > 0:
+        budget[0] -= 1
+        sim.schedule(1e-6, _spin, sim, budget)
+
+
+def _drive_run(sim: Simulator) -> int:
+    budget = [_EVENTS]
+    sim.schedule(0.0, _spin, sim, budget)
+    sim.run(until=1.0)
+    return sim.events_processed
+
+
+def _drive_unbounded(sim: Simulator) -> int:
+    budget = [_EVENTS]
+    sim.schedule(0.0, _spin, sim, budget)
+    sim.run()
+    return sim.events_processed
+
+
+@pytest.mark.benchmark(group="engine-dispatch")
+def test_dispatch_run_until(benchmark):
+    """The profiler-capable single dispatch path, no profiler attached."""
+    events = benchmark(lambda: _drive_run(Simulator()))
+    assert events == _EVENTS + 1
+
+
+@pytest.mark.benchmark(group="engine-dispatch")
+def test_dispatch_run_unbounded(benchmark):
+    events = benchmark(lambda: _drive_unbounded(Simulator()))
+    assert events == _EVENTS + 1
+
+
+@pytest.mark.benchmark(group="engine-dispatch")
+def test_dispatch_with_profiler(benchmark):
+    def run():
+        sim = Simulator()
+        sim.attach_profiler(SimProfiler())
+        return _drive_run(sim)
+
+    events = benchmark(run)
+    assert events == _EVENTS + 1
+
+
+def _testbed_run(tracer=None, profiler=None) -> None:
+    run_single(
+        RunConfig(
+            system="stadia", capacity_bps=25e6, queue_mult=2.0,
+            cca="bbr", seed=0, timeline=SMOKE,
+        ),
+        tracer=tracer,
+        sim_profiler=profiler,
+    )
+
+
+@pytest.mark.benchmark(group="testbed-run")
+def test_run_tracing_disabled(benchmark):
+    """The default: every probe compiled down to a false branch."""
+    benchmark.pedantic(_testbed_run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="testbed-run")
+def test_run_tracing_enabled(benchmark):
+    def run():
+        tracer = Tracer(MemorySink())
+        _testbed_run(tracer=tracer)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="testbed-run")
+def test_run_profiler_attached(benchmark):
+    benchmark.pedantic(
+        lambda: _testbed_run(profiler=SimProfiler()), rounds=3, iterations=1
+    )

@@ -18,6 +18,8 @@ scratch:
   loss / frame-rate tables.
 - :mod:`repro.experiments` -- run configs, the Table 2 grid, striped
   campaigns.
+- :mod:`repro.obs` -- zero-overhead tracepoint bus, sampled internal-
+  state metrics, and event-loop profiling.
 
 Quickstart::
 
@@ -30,6 +32,15 @@ Quickstart::
     print(result.fairness_game_bps / 1e6, "Mb/s for the game stream")
 """
 
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRecorder,
+    SimProfiler,
+    Tracer,
+    load_trace,
+    summarize_trace,
+)
 from repro.experiments import (
     Campaign,
     ConditionResult,
@@ -54,7 +65,10 @@ __all__ = [
     "ConditionResult",
     "GEFORCE",
     "GameStreamingTestbed",
+    "JsonlSink",
     "LUNA",
+    "MemorySink",
+    "MetricsRecorder",
     "PAPER",
     "QUICK",
     "RouterConfig",
@@ -63,12 +77,16 @@ __all__ = [
     "SMOKE",
     "STADIA",
     "SYSTEMS",
+    "SimProfiler",
     "SystemProfile",
     "Timeline",
+    "Tracer",
     "bdp_bytes",
     "condition_grid",
+    "load_trace",
     "queue_limit_bytes",
     "run_single",
     "striped_order",
+    "summarize_trace",
     "__version__",
 ]

@@ -12,6 +12,14 @@ Examples::
     # Table 1 (baseline bitrates, no constraint, no competitor)
     repro-gsnet table1 --iterations 3
 
+    # Capture a trace + metrics + profiler report, then inspect it
+    repro-gsnet run --system stadia --cca bbr --profile smoke \
+        --trace out.jsonl --metrics metrics.json --profile-sim
+    repro-gsnet inspect out.jsonl
+
+    # What can I ask for?
+    repro-gsnet list systems
+
 The heavy multi-condition artefacts (Figures 2-4, Tables 3-5) live in
 ``benchmarks/`` where their results are recorded; the CLI covers
 interactive spot checks.
@@ -23,11 +31,22 @@ import argparse
 import json
 import sys
 
+import repro
 from repro.analysis.render import render_table
 from repro.experiments import Campaign, PAPER, QUICK, RunConfig, SMOKE, run_single
 from repro.experiments.conditions import SYSTEM_NAMES
+from repro.obs import (
+    JsonlSink,
+    MetricsRecorder,
+    SimProfiler,
+    Tracer,
+    load_trace,
+    render_trace_summary,
+    summarize_trace,
+)
 from repro.streaming.systems import SYSTEMS
 from repro.tcp import CCA_REGISTRY
+from repro.testbed.topology import QUEUE_DISCIPLINES
 
 __all__ = ["main"]
 
@@ -58,11 +77,26 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-gsnet",
         description="Game streaming vs TCP Cubic/BBR (IMC 2022 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one configuration")
     _add_condition_args(run_parser)
     run_parser.add_argument("--json", action="store_true", help="emit JSON")
+    run_parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL tracepoint stream to PATH",
+    )
+    run_parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write sampled internal-state metrics (JSON) to PATH",
+    )
+    run_parser.add_argument(
+        "--profile-sim", action="store_true",
+        help="profile the event loop and report per-callback wall time",
+    )
 
     cond_parser = sub.add_parser("condition", help="run several iterations")
     _add_condition_args(cond_parser)
@@ -72,6 +106,19 @@ def _build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--iterations", type=int, default=3)
     table1.add_argument(
         "--profile", choices=sorted(_TIMELINES), default="quick",
+    )
+
+    inspect_parser = sub.add_parser(
+        "inspect", help="summarise a JSONL trace captured with run --trace"
+    )
+    inspect_parser.add_argument("trace", help="path to the JSONL trace")
+    inspect_parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    list_parser = sub.add_parser("list", help="enumerate available options")
+    list_parser.add_argument(
+        "what", choices=("systems", "ccas", "profiles", "qdiscs"),
     )
     return parser
 
@@ -88,7 +135,28 @@ def _make_config(args: argparse.Namespace, seed: int | None = None) -> RunConfig
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_single(_make_config(args))
+    tracer = None
+    if args.trace:
+        tracer = Tracer()
+        try:
+            tracer.attach(JsonlSink(args.trace))
+        except OSError as exc:
+            print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+            return 1
+    metrics = MetricsRecorder() if args.metrics else None
+    profiler = SimProfiler() if args.profile_sim else None
+
+    try:
+        result = run_single(
+            _make_config(args), tracer=tracer, metrics=metrics,
+            sim_profiler=profiler,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if metrics is not None:
+        metrics.save(args.metrics)
+
     if args.json:
         print(json.dumps(result.to_dict()))
         return 0
@@ -106,6 +174,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         import numpy as np
 
         print(f"  mean RTT         : {float(np.mean(rtts)) * 1e3:6.1f} ms")
+    print(f"  wall time        : {result.wall_time_s:6.2f} s")
+    if args.trace:
+        print(f"  trace            : {args.trace}")
+    if args.metrics:
+        print(f"  metrics          : {args.metrics}")
+    if profiler is not None:
+        print()
+        print(profiler.render())
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    try:
+        events = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize_trace(events)
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(render_trace_summary(summary))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    catalog = {
+        "systems": sorted(SYSTEMS),
+        "ccas": sorted(CCA_REGISTRY),
+        "profiles": sorted(_TIMELINES),
+        "qdiscs": list(QUEUE_DISCIPLINES),
+    }
+    for name in catalog[args.what]:
+        print(name)
     return 0
 
 
@@ -170,8 +272,19 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "condition": _cmd_condition,
         "table1": _cmd_table1,
+        "inspect": _cmd_inspect,
+        "list": _cmd_list,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (| head, | less quit): exit quietly
+        # like other Unix tools.  Redirect stdout to devnull so the
+        # interpreter's shutdown flush does not raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

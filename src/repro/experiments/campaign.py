@@ -20,6 +20,7 @@ from repro.experiments.config import RunConfig
 from repro.experiments.profiles import Timeline
 from repro.experiments.results import RunResult
 from repro.experiments.runner import run_single
+from repro.obs.profiler import campaign_profile
 
 __all__ = ["Campaign", "ConditionResult", "condition_key"]
 
@@ -109,24 +110,55 @@ class ConditionResult:
 
 
 class Campaign:
-    """Execute a set of runs and aggregate them per condition."""
+    """Execute a set of runs and aggregate them per condition.
 
-    def __init__(self, workers: int = 1):
+    Args:
+        workers: process-pool width (1 = run inline).
+        progress: optional callback ``(done, total, label, wall_s)``
+            invoked after each run completes.
+    """
+
+    def __init__(self, workers: int = 1, progress=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.progress = progress
         self.conditions: dict[tuple, ConditionResult] = {}
+        #: Per-run (label, wall seconds), in completion order.
+        self.wall_times: list[tuple[str, float]] = []
+
+    @staticmethod
+    def _label(result: RunResult) -> str:
+        return (
+            f"{result.system}/{result.cca or 'solo'}"
+            f"/{result.capacity_bps / 1e6:g}mbps"
+            f"/q{result.queue_mult:g}/s{result.seed}"
+        )
 
     def run(self, configs: list[RunConfig]) -> "Campaign":
         """Run every config, grouping results by condition."""
+        total = len(configs)
         if self.workers == 1:
-            results = [run_single(cfg) for cfg in configs]
+            iterator = map(run_single, configs)
+            for done, result in enumerate(iterator, start=1):
+                self._finish_run(result, done, total)
         else:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                results = list(pool.map(run_single, configs, chunksize=1))
-        for result in results:
-            self.add(result)
+                iterator = pool.map(run_single, configs, chunksize=1)
+                for done, result in enumerate(iterator, start=1):
+                    self._finish_run(result, done, total)
         return self
+
+    def _finish_run(self, result: RunResult, done: int, total: int) -> None:
+        label = self._label(result)
+        self.wall_times.append((label, result.wall_time_s))
+        self.add(result)
+        if self.progress is not None:
+            self.progress(done, total, label, result.wall_time_s)
+
+    def profile_summary(self) -> dict:
+        """Aggregate wall-time profile across all completed runs."""
+        return campaign_profile(self.wall_times)
 
     def add(self, result: RunResult) -> None:
         key = condition_key(result)

@@ -52,6 +52,11 @@ class RunResult:
     # Controller trace.
     target_log: np.ndarray = field(default_factory=lambda: np.empty((0, 2)))
 
+    # Run provenance and profiling (filled by the runner).
+    qdisc: str = "droptail"
+    wall_time_s: float = 0.0
+    profile: dict | None = None
+
     # ------------------------------------------------------------------
     def rtts_in(self, t_start: float, t_end: float) -> np.ndarray:
         """RTT values for probes sent within [t_start, t_end)."""
@@ -72,6 +77,24 @@ class RunResult:
         if not mask.any():
             raise ValueError(f"no bins in [{t_start}, {t_end})")
         return float(self.iperf_bps[mask].mean())
+
+    def rtt_summary(self) -> dict:
+        """Summary statistics of the full RTT sample set."""
+        if self.rtt_samples.size == 0:
+            return {"count": 0, "mean": None, "min": None, "max": None, "p95": None}
+        rtts = self.rtt_samples[:, 1]
+        return {
+            "count": int(rtts.size),
+            "mean": float(rtts.mean()),
+            "min": float(rtts.min()),
+            "max": float(rtts.max()),
+            "p95": float(np.percentile(rtts, 95)),
+        }
+
+    @property
+    def fairness_ratio(self) -> float:
+        """(game - iperf) / capacity over the fairness window."""
+        return (self.fairness_game_bps - self.fairness_iperf_bps) / self.capacity_bps
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -96,6 +119,12 @@ class RunResult:
             "frames_displayed": self.frames_displayed,
             "frames_dropped": self.frames_dropped,
             "target_log": self.target_log.tolist(),
+            "qdisc": self.qdisc,
+            "wall_time_s": self.wall_time_s,
+            "profile": self.profile,
+            # Derived summaries, for consumers that never load the arrays.
+            "rtt_summary": self.rtt_summary(),
+            "fairness_ratio": self.fairness_ratio,
         }
 
     @classmethod
@@ -121,6 +150,9 @@ class RunResult:
             frames_displayed=data["frames_displayed"],
             frames_dropped=data["frames_dropped"],
             target_log=np.asarray(data["target_log"]).reshape(-1, 2),
+            qdisc=data.get("qdisc", "droptail"),
+            wall_time_s=data.get("wall_time_s", 0.0),
+            profile=data.get("profile"),
         )
 
     def save(self, path: str | Path) -> None:

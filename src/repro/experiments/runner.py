@@ -9,18 +9,39 @@ minutes, then collect all measurements into a
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.experiments.config import RunConfig
 from repro.experiments.results import RunResult
+from repro.obs.metrics import MetricsRecorder
+from repro.obs.profiler import SimProfiler
+from repro.obs.trace import Tracer
 from repro.testbed.tc import RouterConfig
 from repro.testbed.topology import IPERF_FLOW, GameStreamingTestbed
 
 __all__ = ["run_single"]
 
 
-def run_single(config: RunConfig) -> RunResult:
-    """Execute one run and return its measurements."""
+def run_single(
+    config: RunConfig,
+    tracer: Tracer | None = None,
+    metrics: MetricsRecorder | None = None,
+    sim_profiler: SimProfiler | None = None,
+) -> RunResult:
+    """Execute one run and return its measurements.
+
+    Args:
+        config: the run to execute.
+        tracer: optional tracepoint bus; trace records carry sim time
+            only, so identical configs produce identical traces.
+        metrics: optional unbound metrics recorder; bound and started
+            by the testbed.
+        sim_profiler: optional event-loop profiler, attached for the
+            duration of the run.
+    """
+    wall_start = perf_counter()
     timeline = config.timeline
     router = RouterConfig(rate_bps=config.capacity_bps, queue_mult=config.queue_mult)
     testbed = GameStreamingTestbed(
@@ -29,14 +50,42 @@ def run_single(config: RunConfig) -> RunResult:
         seed=config.seed,
         competing_cca=config.cca,
         qdisc=config.qdisc,
+        tracer=tracer,
+        metrics=metrics,
     )
+    if tracer is not None and tracer.enabled:
+        tracer.emit(
+            "run.config", 0.0,
+            system=config.system, cca=config.cca,
+            capacity_bps=config.capacity_bps, queue_mult=config.queue_mult,
+            seed=config.seed, qdisc=config.qdisc,
+            timeline_scale=timeline.scale, end=timeline.end,
+        )
+    if sim_profiler is not None:
+        testbed.sim.attach_profiler(sim_profiler)
 
-    testbed.start_game()
-    if config.competing:
-        testbed.schedule_iperf(timeline.iperf_start, timeline.iperf_stop)
-    testbed.run(until=timeline.end)
+    try:
+        testbed.start_game()
+        if config.competing:
+            testbed.schedule_iperf(timeline.iperf_start, timeline.iperf_stop)
+        testbed.run(until=timeline.end)
+    finally:
+        if sim_profiler is not None:
+            testbed.sim.detach_profiler()
+            sim_profiler.finish()
 
-    return _collect(config, testbed)
+    if tracer is not None and tracer.enabled:
+        tracer.emit(
+            "run.end", testbed.sim.now,
+            events=testbed.sim.events_processed,
+            frames=testbed.server.frames_sent,
+        )
+
+    result = _collect(config, testbed)
+    result.wall_time_s = perf_counter() - wall_start
+    if sim_profiler is not None:
+        result.profile = sim_profiler.summary()
+    return result
 
 
 def _collect(config: RunConfig, testbed: GameStreamingTestbed) -> RunResult:
@@ -76,4 +125,5 @@ def _collect(config: RunConfig, testbed: GameStreamingTestbed) -> RunResult:
         frames_displayed=client.frames_displayed,
         frames_dropped=client.frames_dropped,
         target_log=np.asarray(testbed.server.target_log).reshape(-1, 2),
+        qdisc=config.qdisc,
     )

@@ -1,0 +1,222 @@
+"""Trace-file inspection: turn a JSONL trace into a readable summary.
+
+Backs the ``repro-gsnet inspect`` subcommand.  The summary answers the
+questions the paper's tables pose of a black box, but from the inside:
+which events fired and how often per flow, how long each BBR phase
+lasted, where the bottleneck queue occupancy sat (percentiles), and how
+the GCC target moved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["load_trace", "summarize_trace", "render_trace_summary"]
+
+
+def load_trace(path: "str | Path") -> list[dict]:
+    """Read a JSONL trace; raises ValueError naming the first bad line."""
+    events = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON ({exc})") from None
+            if not isinstance(record, dict) or "ev" not in record or "t" not in record:
+                raise ValueError(f"{path}:{lineno}: not a trace record: {line[:80]}")
+            events.append(record)
+    return events
+
+
+def _percentiles(values: list[float]) -> dict:
+    arr = np.asarray(values, dtype=float)
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+def _bbr_timeline(events: list[dict], span_end: float) -> list[dict]:
+    """Per-flow BBR phase durations from ``bbr.state`` transitions."""
+    transitions: dict[str, list[dict]] = {}
+    for record in events:
+        if record["ev"] == "bbr.state":
+            transitions.setdefault(record.get("flow", "?"), []).append(record)
+    timelines = []
+    for flow, records in sorted(transitions.items()):
+        durations: dict[str, float] = {}
+        # The flow is in records[0]["from"] from its start until the
+        # first transition; the final state runs to the end of the trace.
+        prev_t = records[0]["t"]
+        prev_state = records[0].get("from", "?")
+        first_seen = prev_t  # phase clock starts at the first sample
+        durations[prev_state] = 0.0
+        for record in records:
+            state = record.get("from", prev_state)
+            durations[state] = durations.get(state, 0.0) + (record["t"] - prev_t)
+            prev_t = record["t"]
+            prev_state = record.get("to", "?")
+        durations[prev_state] = durations.get(prev_state, 0.0) + max(
+            0.0, span_end - prev_t
+        )
+        timelines.append(
+            {
+                "flow": flow,
+                "transitions": len(records),
+                "first_transition_t": first_seen,
+                "phases": {
+                    state: round(seconds, 6) for state, seconds in durations.items()
+                },
+            }
+        )
+    return timelines
+
+
+def summarize_trace(events: list[dict]) -> dict:
+    """Digest a loaded trace into the dict ``inspect`` renders."""
+    if not events:
+        return {"events": 0}
+    times = [record["t"] for record in events]
+    span = (min(times), max(times))
+
+    counts: dict[str, int] = {}
+    flows: dict[str, int] = {}
+    occupancy: list[float] = []
+    drops = 0
+    targets: list[float] = []
+    cwnd: dict[str, list[float]] = {}
+    losses: dict[str, int] = {}
+    rtos: dict[str, int] = {}
+    backoffs: dict[str, int] = {}
+
+    for record in events:
+        ev = record["ev"]
+        counts[ev] = counts.get(ev, 0) + 1
+        flow = record.get("flow")
+        if flow is not None:
+            flows[flow] = flows.get(flow, 0) + 1
+        if ev == "queue.occupancy":
+            occupancy.append(record["q"])
+        elif ev == "queue.drop":
+            drops += 1
+        elif ev == "gcc.target":
+            targets.append(record["target"])
+        elif ev == "tcp.cwnd":
+            cwnd.setdefault(flow, []).append(record["cwnd"])
+        elif ev == "tcp.loss":
+            losses[flow] = losses.get(flow, 0) + 1
+        elif ev == "tcp.rto":
+            rtos[flow] = rtos.get(flow, 0) + 1
+        elif ev == "gcc.backoff":
+            kind = record.get("kind", "?")
+            backoffs[kind] = backoffs.get(kind, 0) + 1
+
+    summary: dict = {
+        "events": len(events),
+        "span": {"start": span[0], "end": span[1]},
+        "counts": dict(sorted(counts.items(), key=lambda item: -item[1])),
+        "flows": dict(sorted(flows.items(), key=lambda item: -item[1])),
+    }
+    config = next((r for r in events if r["ev"] == "run.config"), None)
+    if config is not None:
+        summary["config"] = {
+            key: value for key, value in config.items() if key not in ("t", "ev")
+        }
+    if occupancy:
+        summary["queue"] = {"occupancy_bytes": _percentiles(occupancy), "drops": drops}
+    elif drops:
+        summary["queue"] = {"drops": drops}
+    if targets:
+        summary["gcc"] = {
+            "decisions": len(targets),
+            "first_bps": targets[0],
+            "min_bps": min(targets),
+            "max_bps": max(targets),
+            "last_bps": targets[-1],
+            "backoffs": backoffs,
+        }
+    if cwnd:
+        summary["tcp"] = {
+            flow: {
+                "cwnd_samples": len(values),
+                "cwnd_min": min(values),
+                "cwnd_mean": sum(values) / len(values),
+                "cwnd_max": max(values),
+                "loss_events": losses.get(flow, 0),
+                "rto_events": rtos.get(flow, 0),
+            }
+            for flow, values in sorted(cwnd.items())
+        }
+    timelines = _bbr_timeline(events, span[1])
+    if timelines:
+        summary["bbr"] = timelines
+    return summary
+
+
+def render_trace_summary(summary: dict) -> str:
+    """Format :func:`summarize_trace` output for the terminal."""
+    if summary.get("events", 0) == 0:
+        return "empty trace"
+    lines = [
+        f"{summary['events']} events over "
+        f"[{summary['span']['start']:.3f}, {summary['span']['end']:.3f}] s sim time"
+    ]
+    if "config" in summary:
+        config = summary["config"]
+        described = ", ".join(f"{key}={value}" for key, value in config.items())
+        lines.append(f"run config: {described}")
+    lines.append("event counts:")
+    for ev, count in summary["counts"].items():
+        lines.append(f"  {ev:<20} {count:>9}")
+    if summary.get("flows"):
+        lines.append("per-flow events:")
+        for flow, count in summary["flows"].items():
+            lines.append(f"  {flow:<20} {count:>9}")
+    queue = summary.get("queue")
+    if queue:
+        lines.append(f"queue: {queue.get('drops', 0)} drops")
+        occ = queue.get("occupancy_bytes")
+        if occ:
+            lines.append(
+                "  occupancy bytes: "
+                f"p50={occ['p50']:.0f} p90={occ['p90']:.0f} "
+                f"p99={occ['p99']:.0f} max={occ['max']:.0f}"
+            )
+    gcc = summary.get("gcc")
+    if gcc:
+        lines.append(
+            f"gcc: {gcc['decisions']} decisions, target "
+            f"{gcc['first_bps'] / 1e6:.2f} -> {gcc['last_bps'] / 1e6:.2f} Mb/s "
+            f"(min {gcc['min_bps'] / 1e6:.2f}, max {gcc['max_bps'] / 1e6:.2f})"
+        )
+        if gcc["backoffs"]:
+            described = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(gcc["backoffs"].items())
+            )
+            lines.append(f"  backoffs: {described}")
+    tcp = summary.get("tcp")
+    if tcp:
+        for flow, stats in tcp.items():
+            lines.append(
+                f"tcp {flow}: cwnd min/mean/max = "
+                f"{stats['cwnd_min']:.1f}/{stats['cwnd_mean']:.1f}/"
+                f"{stats['cwnd_max']:.1f} segs over {stats['cwnd_samples']} samples, "
+                f"{stats['loss_events']} loss episodes, {stats['rto_events']} RTOs"
+            )
+    for timeline in summary.get("bbr", []):
+        phases = ", ".join(
+            f"{state}={seconds:.2f}s" for state, seconds in timeline["phases"].items()
+        )
+        lines.append(
+            f"bbr {timeline['flow']}: {timeline['transitions']} transitions; {phases}"
+        )
+    return "\n".join(lines)

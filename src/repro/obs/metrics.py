@@ -1,0 +1,141 @@
+"""Time-series metric recorders sampled in simulation time.
+
+A :class:`MetricsRecorder` owns a set of named **gauges** (instantaneous
+readings: queue bytes, cwnd, GCC target) and **counters** (cumulative
+totals: drops, bytes sent, events processed), each backed by a
+zero-argument callable.  Once bound to a simulator and started, it
+samples every registered series on a fixed sim-time period, so series
+from different runs of the same configuration line up bin for bin.
+
+The recorder is constructed unbound (the CLI builds it before a
+simulator exists) and bound by the testbed::
+
+    metrics = MetricsRecorder(interval=0.5)
+    testbed = GameStreamingTestbed(..., metrics=metrics)   # binds + starts
+    ...
+    metrics.save("metrics.json")
+
+Sampling callbacks are read-only, so attaching a recorder does not
+change simulation results.  The sampler reschedules itself forever;
+drive the simulator with ``run(until=...)`` (as the experiment harness
+always does), not an unbounded ``run()``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["MetricsRecorder"]
+
+_GAUGE = "gauge"
+_COUNTER = "counter"
+
+
+class MetricsRecorder:
+    """Sample named gauges/counters on a fixed simulation-time period."""
+
+    def __init__(self, interval: float = 0.5):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.sim = None
+        self._sources: dict[str, tuple[str, Callable[[], float]]] = {}
+        self._times: dict[str, list[float]] = {}
+        self._values: dict[str, list[float]] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def bind(self, sim) -> "MetricsRecorder":
+        """Attach to a simulator (done by the testbed)."""
+        self.sim = sim
+        return self
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register an instantaneous reading."""
+        self._register(name, _GAUGE, fn)
+
+    def counter(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a cumulative total (expected to be monotone)."""
+        self._register(name, _COUNTER, fn)
+
+    def _register(self, name: str, kind: str, fn: Callable[[], float]) -> None:
+        if name in self._sources:
+            raise ValueError(f"metric {name!r} already registered")
+        self._sources[name] = (kind, fn)
+        self._times[name] = []
+        self._values[name] = []
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Take the first sample now and reschedule every ``interval``."""
+        if self.sim is None:
+            raise RuntimeError("bind(sim) must be called before start()")
+        if self._started:
+            return
+        self._started = True
+        self._sample()
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        for name, (_, fn) in self._sources.items():
+            self._times[name].append(now)
+            self._values[name].append(float(fn()))
+        self.sim.schedule(self.interval, self._sample)
+
+    # ------------------------------------------------------------------
+    # Access and persistence
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def series(self, name: str) -> tuple[list[float], list[float]]:
+        """(times, values) for one metric."""
+        return self._times[name], self._values[name]
+
+    def last(self, name: str) -> float:
+        values = self._values[name]
+        if not values:
+            raise ValueError(f"metric {name!r} has no samples yet")
+        return values[-1]
+
+    def summary(self) -> dict:
+        """Per-series min/mean/max/last (counters: last is the total)."""
+        out: dict[str, dict] = {}
+        for name in self.names:
+            kind, _ = self._sources[name]
+            values = self._values[name]
+            if not values:
+                out[name] = {"kind": kind, "samples": 0}
+                continue
+            out[name] = {
+                "kind": kind,
+                "samples": len(values),
+                "min": min(values),
+                "mean": sum(values) / len(values),
+                "max": max(values),
+                "last": values[-1],
+            }
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "interval": self.interval,
+            "series": {
+                name: {
+                    "kind": self._sources[name][0],
+                    "t": self._times[name],
+                    "v": self._values[name],
+                }
+                for name in self.names
+            },
+        }
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))

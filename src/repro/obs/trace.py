@@ -1,0 +1,147 @@
+"""The tracepoint bus: named probe points, structured events, JSONL sinks.
+
+Every instrumented component holds a :class:`Tracer` and guards each
+probe with the null-object pattern::
+
+    if self.tracer.enabled:
+        self.tracer.emit("queue.drop", self.sim.now, flow=pkt.flow, ...)
+
+With no sink attached ``enabled`` is False and the probe costs one
+attribute load and a branch -- the event-loop hot path stays within a
+few percent of an uninstrumented build (see
+``benchmarks/test_engine_microbench.py``).  Components default to the
+shared :data:`NULL_TRACER`, which refuses sinks so a stray
+``attach`` cannot silently turn on tracing for every object in the
+process.
+
+Events are flat dicts ``{"t": <sim time>, "ev": <name>, ...fields}``.
+Emission order is the simulation's deterministic event order and no
+wall-clock value is ever stamped into a record, so two runs with the
+same :class:`~repro.experiments.config.RunConfig` produce byte-identical
+JSONL files (property-tested in ``tests/test_properties.py``).
+
+The tracepoint catalog (name -> fields) is documented in the README's
+Observability section; :mod:`repro.obs.inspect` summarises trace files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, IO
+
+__all__ = ["Tracer", "NULL_TRACER", "JsonlSink", "MemorySink"]
+
+
+def _jsonsafe(value: Any) -> Any:
+    """Strict-JSON scrub: NaN/inf (e.g. an unset ssthresh) become null."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+class Tracer:
+    """A probe-point bus fanning structured events out to sinks.
+
+    ``enabled`` is maintained as "at least one sink attached"; callers
+    check it before building the event dict so disabled tracepoints do
+    no allocation at all.
+    """
+
+    __slots__ = ("enabled", "_sinks")
+
+    def __init__(self, sink: "JsonlSink | MemorySink | None" = None):
+        self._sinks: list = []
+        self.enabled = False
+        if sink is not None:
+            self.attach(sink)
+
+    def attach(self, sink) -> "Tracer":
+        """Add a sink (anything with ``write(record: dict)``)."""
+        self._sinks.append(sink)
+        self.enabled = True
+        return self
+
+    def detach(self, sink) -> None:
+        self._sinks.remove(sink)
+        self.enabled = bool(self._sinks)
+
+    def emit(self, ev: str, t: float, **fields: Any) -> None:
+        """Publish one event at sim time ``t`` to every sink."""
+        if not self._sinks:
+            return
+        record = {"t": t, "ev": ev}
+        record.update(fields)
+        for sink in self._sinks:
+            sink.write(record)
+
+    def close(self) -> None:
+        """Close every sink that supports it and disable the bus."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+        self._sinks.clear()
+        self.enabled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tracer sinks={len(self._sinks)} enabled={self.enabled}>"
+
+
+class _NullTracer(Tracer):
+    """The shared disabled tracer; immutable so it stays disabled."""
+
+    __slots__ = ()
+
+    def attach(self, sink) -> "Tracer":
+        raise RuntimeError(
+            "NULL_TRACER is the shared disabled tracer; construct a "
+            "Tracer() and pass it to the component instead"
+        )
+
+
+#: Shared null object used as the default ``tracer`` everywhere.
+NULL_TRACER = _NullTracer()
+
+
+class JsonlSink:
+    """Write one compact JSON object per event line.
+
+    Accepts a path (file opened and owned by the sink) or any text
+    file-like object (left open on :meth:`close`).
+    """
+
+    def __init__(self, target: "str | IO[str]"):
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target
+            self._owns = False
+        else:
+            self._fh = open(target, "w")
+            self._owns = True
+
+    def write(self, record: dict) -> None:
+        self._fh.write(
+            json.dumps(
+                {key: _jsonsafe(value) for key, value in record.items()},
+                separators=(",", ":"),
+            )
+        )
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+class MemorySink:
+    """Keep events in memory (tests, and the ``inspect`` fast path)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def by_event(self, ev: str) -> list[dict]:
+        return [r for r in self.records if r["ev"] == ev]

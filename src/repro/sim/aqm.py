@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro.obs.trace import Tracer
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 from repro.sim.queues import Queue
@@ -61,10 +62,11 @@ class CoDelQueue(Queue):
         target: float = 0.005,
         interval: float = 0.100,
         on_drop: Callable[[Packet], None] | None = None,
+        tracer: Tracer | None = None,
     ):
         if limit_bytes <= 0:
             raise ValueError(f"limit_bytes must be positive, got {limit_bytes}")
-        super().__init__(sim, on_drop)
+        super().__init__(sim, on_drop, tracer)
         self.limit_bytes = limit_bytes
         self.target = target
         self.interval = interval
@@ -160,10 +162,11 @@ class FQCoDelQueue(Queue):
         interval: float = 0.100,
         quantum: int = _MTU,
         on_drop: Callable[[Packet], None] | None = None,
+        tracer: Tracer | None = None,
     ):
         if limit_bytes <= 0:
             raise ValueError(f"limit_bytes must be positive, got {limit_bytes}")
-        super().__init__(sim, on_drop)
+        super().__init__(sim, on_drop, tracer)
         self.limit_bytes = limit_bytes
         self.target = target
         self.interval = interval
@@ -206,6 +209,11 @@ class FQCoDelQueue(Queue):
         self.enqueues += 1
         if self.bytes > self.peak_bytes:
             self.peak_bytes = self.bytes
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "queue.enqueue", self.sim.now,
+                flow=pkt.flow, size=pkt.size, q=self.bytes,
+            )
         if not fq.active:
             fq.active = True
             fq.deficit = self.quantum
@@ -265,5 +273,11 @@ class FQCoDelQueue(Queue):
                     fq.active = False
                 continue
             fq.deficit -= pkt.size
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "queue.dequeue", self.sim.now,
+                    flow=pkt.flow, size=pkt.size, q=self.bytes,
+                    sojourn=self.sim.now - pkt.enqueued_at,
+                )
             return pkt
         return None

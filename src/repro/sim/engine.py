@@ -12,6 +12,8 @@ queues, and protocol endpoints schedule callbacks on it.
 from __future__ import annotations
 
 import heapq
+from math import inf
+from time import perf_counter
 from typing import Any, Callable
 
 __all__ = ["Event", "Simulator", "SimulationError"]
@@ -67,7 +69,7 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
         self._events_processed: int = 0
-        self._running = False
+        self._profiler = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -97,36 +99,18 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Run the next pending event.  Returns False when none remain."""
-        heap = self._heap
-        while heap:
-            time, _, event = heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            self.now = time
-            self._events_processed += 1
-            event.fn(*event.args)
-            return True
-        return False
+    def _dispatch(self, until: float, max_events: int) -> int:
+        """The one dispatch loop behind both :meth:`step` and :meth:`run`.
 
-    def run(self, until: float | None = None) -> None:
-        """Run events until the heap empties or the clock passes ``until``.
-
-        When ``until`` is given, the clock is left exactly at ``until``
-        even if the last event fired earlier, so subsequent scheduling is
-        relative to the requested horizon.
+        Pops and fires events with ``time <= until``, at most
+        ``max_events`` of them (-1 for unlimited), and returns how many
+        fired.  Every dispatched event passes the profiler hook here, so
+        neither entry point can bypass instrumentation and
+        ``events_processed`` stays consistent between them.
         """
         heap = self._heap
         heappop = heapq.heappop
-        if until is None:
-            while self.step():
-                pass
-            return
-        if until < self.now:
-            raise SimulationError(
-                f"cannot run until t={until:.6f} (now is {self.now:.6f})"
-            )
+        dispatched = 0
         while heap:
             time = heap[0][0]
             if time > until:
@@ -136,8 +120,53 @@ class Simulator:
                 continue
             self.now = time
             self._events_processed += 1
-            event.fn(*event.args)
+            profiler = self._profiler
+            if profiler is None:
+                event.fn(*event.args)
+            else:
+                start = perf_counter()
+                event.fn(*event.args)
+                profiler.on_event(event, perf_counter() - start, len(heap))
+            dispatched += 1
+            if dispatched == max_events:
+                break
+        return dispatched
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when none remain."""
+        return self._dispatch(inf, 1) > 0
+
+    def run(self, until: float | None = None) -> None:
+        """Run events until the heap empties or the clock passes ``until``.
+
+        When ``until`` is given, the clock is left exactly at ``until``
+        even if the last event fired earlier, so subsequent scheduling is
+        relative to the requested horizon.
+        """
+        if until is None:
+            self._dispatch(inf, -1)
+            return
+        if until < self.now:
+            raise SimulationError(
+                f"cannot run until t={until:.6f} (now is {self.now:.6f})"
+            )
+        self._dispatch(until, -1)
         self.now = until
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def attach_profiler(self, profiler) -> None:
+        """Time every dispatched callback through ``profiler.on_event``.
+
+        The hook receives ``(event, elapsed_seconds, heap_depth)``; see
+        :class:`repro.obs.profiler.SimProfiler`.  Detach (or never
+        attach) to keep the dispatch loop free of timing calls.
+        """
+        self._profiler = profiler
+
+    def detach_profiler(self) -> None:
+        self._profiler = None
 
     @property
     def pending(self) -> int:

@@ -10,6 +10,7 @@ multiples of the BDP, exactly mirroring the paper's ``tbf`` setup.
 
 from __future__ import annotations
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 from repro.sim.queues import Queue, UnboundedQueue
@@ -26,6 +27,8 @@ class Link:
         delay: one-way propagation delay in seconds.
         sink: downstream object with a ``receive(pkt)`` method.
         queue: the buffer feeding this link; defaults to an unbounded FIFO.
+        tracer: optional tracepoint bus (``link.tx`` per transmission;
+            utilisation is the cumulative ``sent`` field over time).
     """
 
     def __init__(
@@ -35,6 +38,7 @@ class Link:
         delay: float,
         sink,
         queue: Queue | None = None,
+        tracer: Tracer | None = None,
     ):
         if rate_bps <= 0:
             raise ValueError(f"rate_bps must be positive, got {rate_bps}")
@@ -45,6 +49,7 @@ class Link:
         self.delay = delay
         self.sink = sink
         self.queue = queue if queue is not None else UnboundedQueue(sim)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.busy = False
         self.bytes_sent = 0
         self.packets_sent = 0
@@ -68,6 +73,11 @@ class Link:
     def _tx_done(self, pkt: Packet) -> None:
         self.bytes_sent += pkt.size
         self.packets_sent += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "link.tx", self.sim.now,
+                flow=pkt.flow, size=pkt.size, sent=self.bytes_sent,
+            )
         if self.delay > 0:
             self.sim.schedule(self.delay, self.sink.receive, pkt)
         else:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 
@@ -26,12 +27,19 @@ class Queue:
 
     Subclasses decide the admission policy (:meth:`enqueue`) and the drain
     policy (:meth:`pop`).  Dropped packets are reported to ``on_drop`` so
-    flow statistics and tests can observe loss.
+    flow statistics and tests can observe loss, and every
+    enqueue/dequeue/drop fires a tracepoint when a tracer is attached.
     """
 
-    def __init__(self, sim: Simulator, on_drop: Callable[[Packet], None] | None = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        on_drop: Callable[[Packet], None] | None = None,
+        tracer: Tracer | None = None,
+    ):
         self.sim = sim
         self.on_drop = on_drop
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._fifo: deque[Packet] = deque()
         self.bytes = 0
         self.drops = 0
@@ -57,9 +65,19 @@ class Queue:
         self.enqueues += 1
         if self.bytes > self.peak_bytes:
             self.peak_bytes = self.bytes
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "queue.enqueue", self.sim.now,
+                flow=pkt.flow, size=pkt.size, q=self.bytes,
+            )
 
     def _drop(self, pkt: Packet) -> None:
         self.drops += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "queue.drop", self.sim.now,
+                flow=pkt.flow, size=pkt.size, q=self.bytes, drops=self.drops,
+            )
         if self.on_drop is not None:
             self.on_drop(pkt)
 
@@ -68,6 +86,12 @@ class Queue:
             return None
         pkt = self._fifo.popleft()
         self.bytes -= pkt.size
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "queue.dequeue", self.sim.now,
+                flow=pkt.flow, size=pkt.size, q=self.bytes,
+                sojourn=self.sim.now - pkt.enqueued_at,
+            )
         return pkt
 
 
@@ -84,10 +108,11 @@ class DropTailQueue(Queue):
         sim: Simulator,
         limit_bytes: int,
         on_drop: Callable[[Packet], None] | None = None,
+        tracer: Tracer | None = None,
     ):
         if limit_bytes <= 0:
             raise ValueError(f"limit_bytes must be positive, got {limit_bytes}")
-        super().__init__(sim, on_drop)
+        super().__init__(sim, on_drop, tracer)
         self.limit_bytes = limit_bytes
 
     def enqueue(self, pkt: Packet) -> bool:

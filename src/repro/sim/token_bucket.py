@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.engine import Event, Simulator
 from repro.sim.packet import Packet
 
@@ -44,6 +45,7 @@ class TokenBucketFilter:
         limit_bytes: int,
         sink,
         on_drop: Callable[[Packet], None] | None = None,
+        tracer: Tracer | None = None,
     ):
         if rate_bps <= 0:
             raise ValueError(f"rate_bps must be positive, got {rate_bps}")
@@ -57,6 +59,7 @@ class TokenBucketFilter:
         self.limit_bytes = limit_bytes
         self.sink = sink
         self.on_drop = on_drop
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         self._tokens = float(burst_bytes)  # start with a full bucket
         self._last_fill = 0.0
@@ -70,6 +73,11 @@ class TokenBucketFilter:
     def receive(self, pkt: Packet) -> None:
         if self.bytes + pkt.size > self.limit_bytes:
             self.drops += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "tbf.drop", self.sim.now,
+                    flow=pkt.flow, size=pkt.size, q=self.bytes, drops=self.drops,
+                )
             if self.on_drop is not None:
                 self.on_drop(pkt)
             return
@@ -103,6 +111,12 @@ class TokenBucketFilter:
                 self._fifo.popleft()
                 self.bytes -= head.size
                 self._tokens = max(0.0, self._tokens - head.size)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "tbf.tx", self.sim.now,
+                        flow=head.flow, size=head.size,
+                        tokens=self._tokens, q=self.bytes,
+                    )
                 self.sink.receive(head)
             else:
                 self._arm_timer(head.size)

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.streaming.feedback import FeedbackReport
 from repro.streaming.systems import SystemProfile
 
@@ -74,8 +75,15 @@ _RAMP_DISTANCE = 0.2
 class GccController:
     """Server-side rate controller for one streaming session."""
 
-    def __init__(self, profile: SystemProfile):
+    def __init__(
+        self,
+        profile: SystemProfile,
+        tracer: Tracer | None = None,
+        flow: str = "",
+    ):
         self.profile = profile
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.flow = flow or profile.name
         self.target = profile.start_bitrate  # bits/second
         self.smoothed_loss = 0.0
         self.loss_memory = 0.0  # in [0, 1]; suppresses ramp when high
@@ -176,6 +184,11 @@ class GccController:
         self.target = rate
         self._last_track_clamp = now
         self.track_clamps += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "gcc.backoff", now,
+                flow=self.flow, kind="track", target=self.target, rate=rate,
+            )
         return True
 
     def _maybe_delay_backoff(self, report: FeedbackReport, rate: float, now: float) -> bool:
@@ -195,6 +208,12 @@ class GccController:
             self.target *= profile.delay_backoff
         self._last_delay_backoff = now
         self.delay_backoffs += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "gcc.backoff", now,
+                flow=self.flow, kind="delay", target=self.target,
+                qdelay=report.qdelay_avg, trending=trending,
+            )
         return True
 
     # Above this loss level, habituation is bypassed: always react.
@@ -216,6 +235,12 @@ class GccController:
         self.target *= factor
         self._last_loss_backoff = now
         self.loss_backoffs += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "gcc.backoff", now,
+                flow=self.flow, kind="loss", target=self.target,
+                loss=loss, factor=factor,
+            )
         if profile.loss_memory_penalty > 0:
             self.loss_memory += (1.0 - self.loss_memory) * _MEMORY_BUMP
         return True

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.engine import Simulator
 from repro.sim.packet import FEEDBACK, MEDIA, Packet
 from repro.streaming.encoder import Encoder
@@ -49,6 +50,7 @@ class GameStreamServer:
         path: downstream sink toward the client.
         rng: seeded per-run generator (complexity, encoder noise).
         on_send: optional per-packet hook (stats registry).
+        tracer: optional tracepoint bus shared with the controller.
     """
 
     def __init__(
@@ -59,13 +61,15 @@ class GameStreamServer:
         path,
         rng: np.random.Generator,
         on_send=None,
+        tracer: Tracer | None = None,
     ):
         self.sim = sim
         self.flow = flow
         self.profile = profile
         self.path = path
         self.on_send = on_send
-        self.controller = GccController(profile)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.controller = GccController(profile, tracer=self.tracer, flow=flow)
         self.complexity = ComplexityProcess(
             rng, amplitude=profile.complexity_amplitude
         )
@@ -126,6 +130,12 @@ class GameStreamServer:
         )
         frame = self.encoder.encode(now, encoder_target, self.current_fps)
         self.frames_sent += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "encoder.frame", now,
+                flow=self.flow, size=frame.size, keyframe=frame.keyframe,
+                encoder_target=encoder_target, fps=self.current_fps,
+            )
         self._packetise(frame)
         self._frame_event = self.sim.schedule(tick, self._frame_tick)
 
@@ -185,6 +195,13 @@ class GameStreamServer:
         if not report.nack_only:
             target = self.controller.on_feedback(report, now)
             self.target_log.append((now, target))
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "gcc.target", now,
+                    flow=self.flow, target=target,
+                    loss=self.controller.smoothed_loss,
+                    qdelay=report.qdelay_avg, rate=report.receive_rate,
+                )
             self._update_fps(now)
         for seq in report.nacks:
             entry = self._retx_buffer.get(seq)
@@ -204,5 +221,10 @@ class GameStreamServer:
         if profile.fps_follows_rate and loss > profile.fps_loss_mild:
             frac = self.controller.target / (profile.fps_rate_ref * profile.max_bitrate)
             fps = min(fps, max(20.0, profile.fps * min(1.0, frac)))
+        if fps != self.current_fps and self.tracer.enabled:
+            self.tracer.emit(
+                "server.fps", now, flow=self.flow, fps=fps,
+                prev=self.current_fps, loss=loss,
+            )
         self.current_fps = fps
         self.fps_log.append((now, fps))

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.engine import Event, Simulator
 from repro.sim.packet import DATA, Packet
 from repro.tcp.receiver import AckInfo
@@ -122,6 +123,10 @@ class TcpSender:
         on_send: optional hook invoked with each transmitted packet
             (used by the stats registry).
         min_rto: RTO floor (Linux default 200 ms).
+        tracer: optional tracepoint bus; the sender emits ``tcp.cwnd``
+            on every delivering ACK plus ``tcp.start`` / ``tcp.stop`` /
+            ``tcp.loss`` / ``tcp.rto``, and the attached CCA emits its
+            own events (e.g. ``bbr.state``) through ``sender.tracer``.
     """
 
     def __init__(
@@ -133,6 +138,7 @@ class TcpSender:
         segment_size: int = SEGMENT_SIZE,
         on_send: Callable[[Packet], None] | None = None,
         min_rto: float = 0.2,
+        tracer: Tracer | None = None,
     ):
         self.sim = sim
         self.flow = flow
@@ -140,6 +146,7 @@ class TcpSender:
         self.cca = cca
         self.segment_size = segment_size
         self.on_send = on_send
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.rtt = RttEstimator(min_rto=min_rto)
 
         # Window state (segments).
@@ -191,6 +198,10 @@ class TcpSender:
         self.running = True
         self.start_time = self.sim.now
         self.delivered_time = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "tcp.start", self.sim.now, flow=self.flow, cca=self.cca.name
+            )
         self._pump()
 
     def stop(self) -> None:
@@ -199,6 +210,12 @@ class TcpSender:
             return
         self.running = False
         self.stop_time = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "tcp.stop", self.sim.now,
+                flow=self.flow, delivered=self.delivered,
+                retransmits=self.retransmits, loss_events=self.loss_events,
+            )
         self._cancel_rto()
         if self._pace_event is not None:
             self._pace_event.cancel()
@@ -368,6 +385,14 @@ class TcpSender:
                 is_app_limited=self.app_limited,
             )
             self.cca.on_ack(self, newly_delivered, sample)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "tcp.cwnd", now,
+                    flow=self.flow, cwnd=self.cwnd, ssthresh=self.ssthresh,
+                    pipe=self.pipe, inflight_bytes=self.pipe * self.segment_size,
+                    pacing_rate=self.pacing_rate, delivered=self.delivered,
+                    srtt=self.rtt.srtt,
+                )
 
         if self.pipe == 0 and not self._retx_queue and self.snd_una == self.snd_next:
             self._cancel_rto()
@@ -399,6 +424,14 @@ class TcpSender:
             self.recovery_point = self.snd_next
             self.loss_events += 1
             self.cca.on_loss(self)
+            if self.tracer.enabled:
+                # Emitted after the CCA reacted: cwnd is post-backoff.
+                self.tracer.emit(
+                    "tcp.loss", self.sim.now,
+                    flow=self.flow, cwnd=self.cwnd, ssthresh=self.ssthresh,
+                    recovery_point=self.recovery_point,
+                    loss_events=self.loss_events,
+                )
 
     def _check_head_of_line(self, now: float) -> None:
         """RACK-style rescue for a retransmission that was itself lost.
@@ -453,6 +486,12 @@ class TcpSender:
         self.in_recovery = False
         self._next_send_time = 0.0
         self.cca.on_rto(self)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "tcp.rto", self.sim.now,
+                flow=self.flow, cwnd=self.cwnd, backoff=self._rto_backoff,
+                rto_events=self.rto_events,
+            )
         self._pump()
 
     # ------------------------------------------------------------------

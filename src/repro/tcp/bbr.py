@@ -91,6 +91,20 @@ class BbrCC(CongestionControl):
             return 0.0
         return self.bw * self.min_rtt
 
+    def _transition(self, sender: TcpSender, new_state: str) -> None:
+        """Switch state, emitting a ``bbr.state`` tracepoint."""
+        old_state = self.state
+        self.state = new_state
+        tracer = sender.tracer
+        if tracer.enabled and new_state != old_state:
+            tracer.emit(
+                "bbr.state", sender.sim.now,
+                flow=sender.flow,
+                **{"from": old_state, "to": new_state},
+                bw=self.bw, min_rtt=self.min_rtt,
+                round=self.round_count,
+            )
+
     # ------------------------------------------------------------------
     def on_ack(self, sender: TcpSender, acked: int, sample: RateSample) -> None:
         now = sender.sim.now
@@ -141,17 +155,17 @@ class BbrCC(CongestionControl):
 
     def _update_state(self, sender: TcpSender, now: float) -> None:
         if self.state == STARTUP and self.full_bw_reached:
-            self.state = DRAIN
+            self._transition(sender, DRAIN)
             self.pacing_gain = _DRAIN_GAIN
             self.cwnd_gain = _STARTUP_GAIN
         if self.state == DRAIN:
             if sender.pipe * sender.segment_size <= self.bdp_bytes():
-                self._enter_probe_bw(now)
+                self._enter_probe_bw(sender, now)
         if self.state == PROBE_BW:
             self._advance_cycle(sender, now)
 
-    def _enter_probe_bw(self, now: float) -> None:
-        self.state = PROBE_BW
+    def _enter_probe_bw(self, sender: TcpSender, now: float) -> None:
+        self._transition(sender, PROBE_BW)
         self.cwnd_gain = self.cwnd_gain_setting
         self._cycle_stamp = now
         self.pacing_gain = _PROBE_BW_GAINS[self._cycle_index]
@@ -173,7 +187,7 @@ class BbrCC(CongestionControl):
     def _check_probe_rtt(self, sender: TcpSender, now: float, filter_expired: bool) -> None:
         if self.state != PROBE_RTT:
             if filter_expired:
-                self.state = PROBE_RTT
+                self._transition(sender, PROBE_RTT)
                 self._saved_cwnd = sender.cwnd
                 self.pacing_gain = 1.0
                 self._probe_rtt_done_stamp = None
@@ -194,9 +208,9 @@ class BbrCC(CongestionControl):
                     # Resume at the probing gain so bandwidth ceded
                     # during the drain is reclaimed immediately.
                     self._cycle_index = 0
-                    self._enter_probe_bw(now)
+                    self._enter_probe_bw(sender, now)
                 else:
-                    self.state = STARTUP
+                    self._transition(sender, STARTUP)
                     self.pacing_gain = _STARTUP_GAIN
 
     # ------------------------------------------------------------------

@@ -72,6 +72,14 @@ class CubicCC(CongestionControl):
             self._ack_count = 0.0
             self._w_est = sender.cwnd
 
+            tracer = sender.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    "cubic.epoch", now,
+                    flow=sender.flow, w_max=self.w_max, k=self.k,
+                    cwnd=sender.cwnd,
+                )
+
         t = now - self.epoch_start
         target = self._w_cubic(t + rtt)
         cwnd = sender.cwnd

@@ -66,12 +66,18 @@ class VegasCC(CongestionControl):
                 sender.ssthresh = sender.cwnd
             else:
                 sender.cwnd = cwnd + 1  # Vegas: double every *other* RTT
-            return
-
-        if diff < _ALPHA:
+        elif diff < _ALPHA:
             sender.cwnd = cwnd + 1.0
         elif diff > _BETA:
             sender.cwnd = max(cwnd - 1.0, _MIN_CWND)
+
+        tracer = sender.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "vegas.adjust", sender.sim.now,
+                flow=sender.flow, diff=diff, cwnd=sender.cwnd,
+                base_rtt=self.base_rtt, slow_start=self._slow_start,
+            )
 
     def on_loss(self, sender: TcpSender) -> None:
         sender.cwnd = max(sender.cwnd * 0.75, _MIN_CWND)

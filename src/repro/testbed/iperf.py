@@ -8,6 +8,7 @@ scheduled start/stop times.
 
 from __future__ import annotations
 
+from repro.obs.trace import Tracer
 from repro.sim.engine import Simulator
 from repro.tcp import TcpSender, make_cca
 from repro.tcp.receiver import TcpReceiver
@@ -30,13 +31,15 @@ class IperfFlow:
         downlink_path,
         uplink_path,
         on_send=None,
+        tracer: Tracer | None = None,
     ):
         self.sim = sim
         self.flow = flow
         self.cca_name = cca
         self.receiver = TcpReceiver(sim, flow, ack_path=uplink_path)
         self.sender = TcpSender(
-            sim, flow, path=downlink_path, cca=make_cca(cca), on_send=on_send
+            sim, flow, path=downlink_path, cca=make_cca(cca), on_send=on_send,
+            tracer=tracer,
         )
 
     def schedule(self, start: float, stop: float) -> None:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRecorder
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.aqm import CoDelQueue, FQCoDelQueue
 from repro.sim.engine import Simulator
 from repro.sim.flowstats import StatsRegistry
@@ -59,6 +61,13 @@ class GameStreamingTestbed:
         ping_interval: RTT probe period, seconds.
         random_loss: independent downlink loss probability
             (``netem loss P%``), for the loss-resilience ablation.
+        tracer: tracepoint bus threaded through every instrumented
+            component; when enabled a periodic ``queue.occupancy``
+            sampler also runs.
+        metrics: optional (unbound) metrics recorder; the testbed binds
+            it to its simulator, registers the standard gauges and
+            counters, and starts it on :meth:`start_game`.
+        sample_interval: period of the occupancy sampler, seconds.
     """
 
     def __init__(
@@ -70,6 +79,9 @@ class GameStreamingTestbed:
         qdisc: str = "droptail",
         ping_interval: float = 0.2,
         random_loss: float = 0.0,
+        tracer: Tracer | None = None,
+        metrics: MetricsRecorder | None = None,
+        sample_interval: float = 0.1,
     ):
         if qdisc not in QUEUE_DISCIPLINES:
             raise ValueError(
@@ -80,6 +92,9 @@ class GameStreamingTestbed:
         self.seed = seed
         self.qdisc = qdisc
         self.rng = np.random.default_rng(seed)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.sample_interval = sample_interval
 
         self.sim = Simulator()
         self.stats = StatsRegistry()
@@ -115,6 +130,7 @@ class GameStreamingTestbed:
             delay=0.0,
             sink=downlink_sink,
             queue=self.queue,
+            tracer=self.tracer,
         )
         # Per-flow propagation ahead of the bottleneck.
         self._down_netem: dict[str, NetemDelay] = {}
@@ -135,6 +151,7 @@ class GameStreamingTestbed:
             path=self._down_netem[self.profile.name],
             rng=self.rng,
             on_send=self.stats.on_send,
+            tracer=self.tracer,
         )
         self.client = GameStreamClient(
             self.sim, self.profile.name, self.profile, feedback_path=self._uplink
@@ -160,20 +177,65 @@ class GameStreamingTestbed:
                 downlink_path=self._down_netem[flow],
                 uplink_path=self._uplink,
                 on_send=self.stats.on_send,
+                tracer=self.tracer,
             )
             self.server_demux.route(flow, iperf.sender)
             self.client_demux.route(flow, iperf.receiver)
             self.iperfs.append(iperf)
         self.iperf: IperfFlow | None = self.iperfs[0] if self.iperfs else None
 
+        if self.metrics is not None:
+            self._register_metrics()
+
+    # ------------------------------------------------------------------
+    def _sample_occupancy(self) -> None:
+        """Periodic ``queue.occupancy`` tracepoint (bottleneck state)."""
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "queue.occupancy", self.sim.now,
+                q=self.queue.bytes, pkts=len(self.queue),
+                limit=self.queue.limit_bytes, drops=self.queue.drops,
+            )
+        self.sim.schedule(self.sample_interval, self._sample_occupancy)
+
+    def _register_metrics(self) -> None:
+        m = self.metrics
+        m.bind(self.sim)
+        queue = self.queue
+        m.gauge("queue.bytes", lambda: queue.bytes)
+        m.gauge("queue.pkts", lambda: len(queue))
+        m.counter("queue.drops", lambda: queue.drops)
+        m.counter("link.bytes_sent", lambda: self.bottleneck.bytes_sent)
+        m.counter("sim.events", lambda: self.sim.events_processed)
+        controller = self.server.controller
+        m.gauge("gcc.target_bps", lambda: controller.target)
+        m.gauge("server.fps", lambda: self.server.current_fps)
+        for iperf in self.iperfs:
+            sender = iperf.sender
+            m.gauge(f"{iperf.flow}.cwnd", lambda s=sender: s.cwnd)
+            m.gauge(f"{iperf.flow}.pipe", lambda s=sender: s.pipe)
+            m.gauge(
+                f"{iperf.flow}.pacing_rate",
+                lambda s=sender: s.pacing_rate or 0.0,
+            )
+
     # ------------------------------------------------------------------
     def _make_queue(self):
         limit = self.router.queue_bytes
         if self.qdisc == "codel":
-            return CoDelQueue(self.sim, limit_bytes=limit, on_drop=self.stats.on_drop)
+            return CoDelQueue(
+                self.sim, limit_bytes=limit, on_drop=self.stats.on_drop,
+                tracer=self.tracer,
+            )
         if self.qdisc == "fq_codel":
-            return FQCoDelQueue(self.sim, limit_bytes=limit, on_drop=self.stats.on_drop)
-        return DropTailQueue(self.sim, limit_bytes=limit, on_drop=self.stats.on_drop)
+            return FQCoDelQueue(
+                self.sim, limit_bytes=limit, on_drop=self.stats.on_drop,
+                tracer=self.tracer,
+            )
+        return DropTailQueue(
+            self.sim, limit_bytes=limit, on_drop=self.stats.on_drop,
+            tracer=self.tracer,
+        )
 
     def _on_client_arrival(self, pkt) -> None:
         self.capture.tap(pkt)
@@ -181,10 +243,14 @@ class GameStreamingTestbed:
 
     # ------------------------------------------------------------------
     def start_game(self) -> None:
-        """Start the streaming session and the RTT probe."""
+        """Start the streaming session, the RTT probe, and observers."""
         self.server.start()
         self.client.start()
         self.prober.start()
+        if self.tracer.enabled:
+            self._sample_occupancy()
+        if self.metrics is not None:
+            self.metrics.start()
 
     def schedule_iperf(self, start: float, stop: float) -> None:
         """Schedule every competing flow's lifetime (paper: 185-370 s)."""

@@ -1,0 +1,103 @@
+"""Tests for trace loading and summarisation."""
+
+import pytest
+
+from repro.obs.inspect import load_trace, render_trace_summary, summarize_trace
+
+
+def _write_trace(tmp_path, lines):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def test_load_trace_parses_records(tmp_path):
+    path = _write_trace(tmp_path, [
+        '{"t":0.0,"ev":"run.config","system":"stadia"}',
+        '{"t":1.0,"ev":"queue.drop","flow":"iperf"}',
+    ])
+    events = load_trace(path)
+    assert [r["ev"] for r in events] == ["run.config", "queue.drop"]
+
+
+def test_load_trace_skips_blank_lines(tmp_path):
+    path = _write_trace(tmp_path, ['{"t":0.0,"ev":"x"}', "", '{"t":1.0,"ev":"y"}'])
+    assert len(load_trace(path)) == 2
+
+
+def test_load_trace_rejects_bad_json(tmp_path):
+    path = _write_trace(tmp_path, ['{"t":0.0,"ev":"x"}', "{not json"])
+    with pytest.raises(ValueError, match=":2"):
+        load_trace(path)
+
+
+def test_load_trace_rejects_non_records(tmp_path):
+    path = _write_trace(tmp_path, ['{"no_ev_field":1}'])
+    with pytest.raises(ValueError, match=":1"):
+        load_trace(path)
+
+
+def test_summarize_empty():
+    assert summarize_trace([]) == {"events": 0}
+    assert render_trace_summary({"events": 0}) == "empty trace"
+
+
+def test_summarize_counts_flows_and_config():
+    events = [
+        {"t": 0.0, "ev": "run.config", "system": "luna", "cca": "bbr"},
+        {"t": 0.5, "ev": "tcp.cwnd", "flow": "iperf", "cwnd": 10.0},
+        {"t": 1.0, "ev": "tcp.cwnd", "flow": "iperf", "cwnd": 20.0},
+        {"t": 1.2, "ev": "tcp.loss", "flow": "iperf"},
+        {"t": 1.5, "ev": "queue.occupancy", "q": 1000},
+        {"t": 2.0, "ev": "queue.occupancy", "q": 3000},
+        {"t": 2.1, "ev": "queue.drop", "flow": "iperf"},
+        {"t": 2.5, "ev": "gcc.target", "flow": "luna", "target": 20e6},
+        {"t": 3.0, "ev": "gcc.target", "flow": "luna", "target": 10e6},
+        {"t": 3.0, "ev": "gcc.backoff", "flow": "luna", "kind": "delay"},
+    ]
+    summary = summarize_trace(events)
+    assert summary["events"] == len(events)
+    assert summary["span"] == {"start": 0.0, "end": 3.0}
+    assert summary["counts"]["tcp.cwnd"] == 2
+    assert summary["flows"]["iperf"] == 4
+    assert summary["config"] == {"system": "luna", "cca": "bbr"}
+    assert summary["queue"]["drops"] == 1
+    assert summary["queue"]["occupancy_bytes"]["max"] == 3000.0
+    assert summary["gcc"]["decisions"] == 2
+    assert summary["gcc"]["last_bps"] == 10e6
+    assert summary["gcc"]["backoffs"] == {"delay": 1}
+    tcp = summary["tcp"]["iperf"]
+    assert tcp["cwnd_min"] == 10.0
+    assert tcp["cwnd_max"] == 20.0
+    assert tcp["loss_events"] == 1
+
+
+def test_bbr_timeline_accumulates_phase_durations():
+    events = [
+        {"t": 1.0, "ev": "bbr.state", "flow": "iperf",
+         "from": "startup", "to": "drain"},
+        {"t": 1.5, "ev": "bbr.state", "flow": "iperf",
+         "from": "drain", "to": "probe_bw"},
+        {"t": 5.0, "ev": "run.end"},
+    ]
+    summary = summarize_trace(events)
+    (timeline,) = summary["bbr"]
+    assert timeline["flow"] == "iperf"
+    assert timeline["transitions"] == 2
+    assert timeline["phases"]["drain"] == pytest.approx(0.5)
+    assert timeline["phases"]["probe_bw"] == pytest.approx(3.5)
+
+
+def test_render_mentions_key_sections():
+    events = [
+        {"t": 0.0, "ev": "run.config", "system": "stadia"},
+        {"t": 0.5, "ev": "tcp.cwnd", "flow": "iperf", "cwnd": 10.0},
+        {"t": 1.0, "ev": "queue.occupancy", "q": 500},
+        {"t": 1.5, "ev": "gcc.target", "flow": "stadia", "target": 25e6},
+    ]
+    text = render_trace_summary(summarize_trace(events))
+    assert "run config" in text
+    assert "event counts" in text
+    assert "tcp iperf" in text
+    assert "occupancy bytes" in text
+    assert "gcc" in text

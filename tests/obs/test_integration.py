@@ -1,0 +1,116 @@
+"""End-to-end observability: probes fire through a real run.
+
+This is the acceptance check of the observability work: a smoke-scale
+Stadia-vs-BBR run must produce iperf cwnd samples, at least one BBR
+state transition, periodic queue-occupancy samples, and GCC target
+decisions -- and turning tracing on must not change what the simulation
+computes.
+"""
+
+import pytest
+
+from repro.experiments import RunConfig, SMOKE, run_single
+from repro.obs import (
+    MemorySink,
+    MetricsRecorder,
+    SimProfiler,
+    Tracer,
+    summarize_trace,
+)
+
+
+def _config(**overrides):
+    defaults = dict(
+        system="stadia", capacity_bps=25e6, queue_mult=2.0,
+        cca="bbr", seed=3, timeline=SMOKE,
+    )
+    defaults.update(overrides)
+    return RunConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tracer = Tracer()
+    sink = MemorySink()
+    tracer.attach(sink)
+    metrics = MetricsRecorder(interval=0.5)
+    profiler = SimProfiler()
+    result = run_single(
+        _config(), tracer=tracer, metrics=metrics, sim_profiler=profiler
+    )
+    return result, sink, metrics, profiler
+
+
+def test_trace_contains_required_probes(traced_run):
+    _, sink, _, _ = traced_run
+    cwnd = sink.by_event("tcp.cwnd")
+    assert cwnd and all(r["flow"] == "iperf" for r in cwnd)
+    assert len(sink.by_event("bbr.state")) >= 1
+    assert len(sink.by_event("queue.occupancy")) > 10
+    assert len(sink.by_event("gcc.target")) > 10
+    assert len(sink.by_event("encoder.frame")) > 100
+    assert len(sink.by_event("queue.enqueue")) > 1000
+
+
+def test_trace_brackets_the_run(traced_run):
+    _, sink, _, _ = traced_run
+    (config,) = sink.by_event("run.config")
+    assert config["system"] == "stadia"
+    assert config["cca"] == "bbr"
+    assert config["seed"] == 3
+    (end,) = sink.by_event("run.end")
+    assert end["events"] > 0
+    assert end["frames"] > 0
+
+
+def test_trace_times_are_monotone_sim_time(traced_run):
+    result, sink, _, _ = traced_run
+    times = [r["t"] for r in sink.records]
+    assert times == sorted(times)
+    assert times[-1] <= SMOKE.end + 1e-9
+
+
+def test_summary_digests_live_trace(traced_run):
+    _, sink, _, _ = traced_run
+    summary = summarize_trace(sink.records)
+    assert summary["config"]["qdisc"] == "droptail"
+    assert "iperf" in summary["tcp"]
+    assert summary["bbr"][0]["transitions"] >= 1
+    assert summary["queue"]["occupancy_bytes"]["max"] > 0
+
+
+def test_metrics_sampled_through_run(traced_run):
+    _, _, metrics, _ = traced_run
+    assert "queue.bytes" in metrics.names
+    assert "iperf.cwnd" in metrics.names
+    assert "gcc.target_bps" in metrics.names
+    times, values = metrics.series("sim.events")
+    assert len(times) > 10
+    assert values == sorted(values)  # counters are monotone
+    assert metrics.last("sim.events") > 0
+
+
+def test_profiler_accounts_the_run(traced_run):
+    result, _, _, profiler = traced_run
+    summary = profiler.summary()
+    assert summary["events"] > 10_000
+    assert summary["max_heap_depth"] > 0
+    assert summary["categories"][0]["count"] > 0
+    assert result.profile == summary
+    assert result.wall_time_s > 0
+
+
+def test_tracing_does_not_change_results():
+    baseline = run_single(_config(seed=5))
+    tracer = Tracer()
+    tracer.attach(MemorySink())
+    traced = run_single(
+        _config(seed=5), tracer=tracer,
+        metrics=MetricsRecorder(), sim_profiler=SimProfiler(),
+    )
+    assert traced.baseline_bps == baseline.baseline_bps
+    assert traced.fairness_game_bps == baseline.fairness_game_bps
+    assert traced.fairness_iperf_bps == baseline.fairness_iperf_bps
+    assert traced.game_loss_rate == baseline.game_loss_rate
+    assert traced.frames_displayed == baseline.frames_displayed
+    assert (traced.rtt_samples == baseline.rtt_samples).all()

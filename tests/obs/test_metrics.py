@@ -1,0 +1,90 @@
+"""Tests for the sim-time metrics recorder."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRecorder
+from repro.sim.engine import Simulator
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        MetricsRecorder(interval=0.0)
+
+
+def test_start_requires_bind():
+    recorder = MetricsRecorder()
+    with pytest.raises(RuntimeError):
+        recorder.start()
+
+
+def test_duplicate_metric_name_rejected():
+    recorder = MetricsRecorder()
+    recorder.gauge("x", lambda: 0.0)
+    with pytest.raises(ValueError):
+        recorder.counter("x", lambda: 0.0)
+
+
+def test_samples_on_fixed_sim_period():
+    sim = Simulator()
+    recorder = MetricsRecorder(interval=0.5).bind(sim)
+    recorder.gauge("clock", lambda: sim.now)
+    recorder.start()
+    sim.run(until=2.0)
+    times, values = recorder.series("clock")
+    assert times == [0.0, 0.5, 1.0, 1.5, 2.0]
+    assert values == times  # the gauge reads sim.now
+
+
+def test_counter_and_summary():
+    sim = Simulator()
+    counter = {"n": 0}
+    sim.schedule(0.2, lambda: counter.__setitem__("n", 3))
+    recorder = MetricsRecorder(interval=0.5).bind(sim)
+    recorder.counter("n", lambda: counter["n"])
+    recorder.start()
+    sim.run(until=1.0)
+    summary = recorder.summary()["n"]
+    assert summary["kind"] == "counter"
+    assert summary["samples"] == 3
+    assert summary["min"] == 0.0
+    assert summary["last"] == 3.0
+    assert recorder.last("n") == 3.0
+
+
+def test_last_without_samples_raises():
+    recorder = MetricsRecorder()
+    recorder.gauge("x", lambda: 0.0)
+    with pytest.raises(ValueError):
+        recorder.last("x")
+
+
+def test_save_round_trips_via_json(tmp_path):
+    sim = Simulator()
+    recorder = MetricsRecorder(interval=1.0).bind(sim)
+    recorder.gauge("g", lambda: 7.0)
+    recorder.start()
+    sim.run(until=2.0)
+    path = tmp_path / "metrics.json"
+    recorder.save(path)
+    data = json.loads(path.read_text())
+    assert data["interval"] == 1.0
+    assert data["series"]["g"]["kind"] == "gauge"
+    assert data["series"]["g"]["v"] == [7.0, 7.0, 7.0]
+
+
+def test_sampling_does_not_change_sim_results():
+    def build(with_metrics):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i * 0.13, lambda i=i: fired.append((sim.now, i)))
+        if with_metrics:
+            recorder = MetricsRecorder(interval=0.05).bind(sim)
+            recorder.gauge("depth", lambda: len(fired))
+            recorder.start()
+        sim.run(until=2.0)
+        return fired
+
+    assert build(False) == build(True)

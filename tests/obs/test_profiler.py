@@ -1,0 +1,97 @@
+"""Tests for the event-loop profiler and campaign aggregation."""
+
+from repro.obs.profiler import SimProfiler, campaign_profile
+from repro.sim.engine import Simulator
+
+
+def _noop():
+    pass
+
+
+def _busy():
+    sum(range(200))
+
+
+def test_profiler_counts_every_dispatched_event():
+    sim = Simulator()
+    profiler = SimProfiler()
+    sim.attach_profiler(profiler)
+    for i in range(5):
+        sim.schedule(i * 0.1, _noop)
+    sim.run()
+    profiler.finish()
+    assert profiler.events == 5
+    assert sim.events_processed == 5
+
+
+def test_profiler_categorises_by_qualname():
+    sim = Simulator()
+    profiler = SimProfiler()
+    sim.attach_profiler(profiler)
+    sim.schedule(0.0, _noop)
+    sim.schedule(0.1, _noop)
+    sim.schedule(0.2, _busy)
+    sim.run()
+    summary = profiler.summary()
+    by_name = {row["callback"]: row for row in summary["categories"]}
+    assert by_name["_noop"]["count"] == 2
+    assert by_name["_busy"]["count"] == 1
+    assert summary["events"] == 3
+    assert summary["wall_in_callbacks_s"] >= 0.0
+
+
+def test_profiler_tracks_heap_depth():
+    sim = Simulator()
+    profiler = SimProfiler()
+    sim.attach_profiler(profiler)
+    for i in range(10):
+        sim.schedule(1.0 + i * 0.01, _noop)
+    sim.schedule(0.0, _noop)  # dispatched while 10 events remain queued
+    sim.run()
+    assert profiler.max_heap_depth == 10
+
+
+def test_detach_stops_accounting():
+    sim = Simulator()
+    profiler = SimProfiler()
+    sim.attach_profiler(profiler)
+    sim.schedule(0.0, _noop)
+    sim.run()
+    sim.detach_profiler()
+    sim.schedule(0.0, _noop)
+    sim.run()
+    assert profiler.events == 1
+    assert sim.events_processed == 2
+
+
+def test_empty_profiler_summary_is_safe():
+    summary = SimProfiler().summary()
+    assert summary["events"] == 0
+    assert summary["events_per_sec"] == 0.0
+    assert summary["categories"] == []
+
+
+def test_render_mentions_top_categories():
+    sim = Simulator()
+    profiler = SimProfiler()
+    sim.attach_profiler(profiler)
+    sim.schedule(0.0, _busy)
+    sim.run()
+    profiler.finish()
+    text = profiler.render()
+    assert "sim profile" in text
+    assert "_busy" in text
+
+
+def test_campaign_profile_empty():
+    assert campaign_profile([]) == {
+        "runs": 0, "wall_total_s": 0.0, "wall_mean_s": 0.0, "slowest": None,
+    }
+
+
+def test_campaign_profile_aggregates():
+    summary = campaign_profile([("a", 1.0), ("b", 3.0), ("c", 2.0)])
+    assert summary["runs"] == 3
+    assert summary["wall_total_s"] == 6.0
+    assert summary["wall_mean_s"] == 2.0
+    assert summary["slowest"] == {"label": "b", "wall_s": 3.0}

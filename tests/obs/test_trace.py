@@ -1,0 +1,107 @@
+"""Tests for the tracepoint bus and its sinks."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, JsonlSink, MemorySink, Tracer
+
+
+def test_tracer_disabled_by_default():
+    tracer = Tracer()
+    assert not tracer.enabled
+    tracer.emit("x", 0.0, a=1)  # no sink: silently dropped
+
+
+def test_attach_enables_and_detach_disables():
+    tracer = Tracer()
+    sink = MemorySink()
+    tracer.attach(sink)
+    assert tracer.enabled
+    tracer.detach(sink)
+    assert not tracer.enabled
+
+
+def test_emit_builds_flat_record():
+    tracer = Tracer()
+    sink = MemorySink()
+    tracer.attach(sink)
+    tracer.emit("queue.drop", 1.5, flow="iperf", size=1500)
+    assert sink.records == [
+        {"t": 1.5, "ev": "queue.drop", "flow": "iperf", "size": 1500}
+    ]
+
+
+def test_emit_fans_out_to_all_sinks():
+    tracer = Tracer()
+    first, second = MemorySink(), MemorySink()
+    tracer.attach(first)
+    tracer.attach(second)
+    tracer.emit("x", 0.0)
+    assert len(first.records) == len(second.records) == 1
+
+
+def test_constructor_sink_shortcut():
+    sink = MemorySink()
+    tracer = Tracer(sink)
+    assert tracer.enabled
+    tracer.emit("x", 0.0)
+    assert len(sink.records) == 1
+
+
+def test_null_tracer_rejects_sinks():
+    assert not NULL_TRACER.enabled
+    with pytest.raises(RuntimeError):
+        NULL_TRACER.attach(MemorySink())
+
+
+def test_close_disables_and_closes_sinks():
+    buffer = io.StringIO()
+    tracer = Tracer(JsonlSink(buffer))
+    tracer.emit("x", 0.0)
+    tracer.close()
+    assert not tracer.enabled
+    # Borrowed file-like objects stay open after close().
+    assert not buffer.closed
+    tracer.emit("y", 1.0)  # post-close emits go nowhere
+    assert buffer.getvalue().count("\n") == 1
+
+
+def test_jsonl_sink_writes_one_compact_line_per_event():
+    buffer = io.StringIO()
+    sink = JsonlSink(buffer)
+    sink.write({"t": 0.25, "ev": "tcp.cwnd", "cwnd": 10.0})
+    sink.write({"t": 0.5, "ev": "tcp.cwnd", "cwnd": 12.0})
+    lines = buffer.getvalue().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0]) == {"t": 0.25, "ev": "tcp.cwnd", "cwnd": 10.0}
+    assert " " not in lines[0]  # compact separators
+
+
+def test_jsonl_sink_owns_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(str(path))
+    sink.write({"t": 0.0, "ev": "x"})
+    sink.close()
+    assert json.loads(path.read_text()) == {"t": 0.0, "ev": "x"}
+
+
+def test_jsonl_sink_scrubs_non_finite_floats():
+    buffer = io.StringIO()
+    JsonlSink(buffer).write(
+        {"t": 0.0, "ev": "tcp.cwnd", "ssthresh": math.inf, "x": math.nan}
+    )
+    record = json.loads(buffer.getvalue())
+    assert record["ssthresh"] is None
+    assert record["x"] is None
+
+
+def test_memory_sink_by_event():
+    sink = MemorySink()
+    tracer = Tracer(sink)
+    tracer.emit("a", 0.0)
+    tracer.emit("b", 1.0)
+    tracer.emit("a", 2.0)
+    assert [r["t"] for r in sink.by_event("a")] == [0.0, 2.0]

@@ -34,6 +34,15 @@ def test_run_json_output(capsys):
     assert data["system"] == "geforce"
     assert data["cca"] == "bbr"
     assert len(data["times"]) == len(data["game_bps"])
+    # The serialised result is complete: identity, provenance, summaries.
+    assert data["seed"] == 0
+    assert data["queue_mult"] == 0.5
+    assert data["qdisc"] == "droptail"
+    assert data["wall_time_s"] > 0
+    assert data["rtt_summary"]["count"] > 0
+    assert data["rtt_summary"]["min"] <= data["rtt_summary"]["mean"]
+    assert data["rtt_summary"]["mean"] <= data["rtt_summary"]["max"]
+    assert -1.0 <= data["fairness_ratio"] <= 1.0
 
 
 def test_condition_command(capsys):
@@ -55,3 +64,69 @@ def test_invalid_system_rejected():
 def test_invalid_cca_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--system", "luna", "--cca", "quic", "--profile", "smoke"])
+
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_list_subcommand(capsys):
+    assert main(["list", "systems"]) == 0
+    assert capsys.readouterr().out.split() == ["geforce", "luna", "stadia"]
+    assert main(["list", "ccas"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "cubic" in out and "bbr" in out
+    assert main(["list", "profiles"]) == 0
+    assert capsys.readouterr().out.split() == ["paper", "quick", "smoke"]
+    assert main(["list", "qdiscs"]) == 0
+    assert capsys.readouterr().out.split() == ["droptail", "codel", "fq_codel"]
+
+
+def test_list_rejects_unknown_category():
+    with pytest.raises(SystemExit):
+        main(["list", "quantum"])
+
+
+def test_run_trace_metrics_profile_round_trip(tmp_path, capsys):
+    """run --trace/--metrics/--profile-sim, then inspect the capture."""
+    trace_path = tmp_path / "trace.jsonl"
+    metrics_path = tmp_path / "metrics.json"
+    rc = main(["run", "--system", "stadia", "--cca", "bbr",
+               "--capacity", "25", "--queue", "2", "--profile", "smoke",
+               "--trace", str(trace_path), "--metrics", str(metrics_path),
+               "--profile-sim"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sim profile" in out
+    assert str(trace_path) in out
+
+    # The trace is valid non-empty JSONL with the key probes present.
+    lines = trace_path.read_text().splitlines()
+    assert len(lines) > 1000
+    events = {json.loads(line)["ev"] for line in lines}
+    assert {"run.config", "tcp.cwnd", "bbr.state",
+            "queue.occupancy", "gcc.target", "run.end"} <= events
+
+    # The metrics file round-trips.
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["series"]["iperf.cwnd"]["v"]
+    assert metrics["series"]["queue.bytes"]["kind"] == "gauge"
+
+    # inspect summarises the same capture without error.
+    rc = main(["inspect", str(trace_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "event counts" in out
+    assert "bbr iperf" in out
+
+    rc = main(["inspect", str(trace_path), "--json"])
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["events"] == len(lines)
+    assert summary["config"]["system"] == "stadia"
+
