@@ -7,7 +7,12 @@ and Figures 2/3/4 in one go.  At the default ``--profile quick``
 core; ``--profile paper --iterations 15`` is the faithful (and very
 long) version of the paper's 48-hour campaign.
 
-Run:  python examples/full_campaign.py --iterations 2 [--out results/]
+With ``--store DIR`` completed runs are persisted to a content-addressed
+run store as they finish, so an interrupted campaign resumes where it
+left off and a finished one replays its artefacts from cache in
+seconds.
+
+Run:  python examples/full_campaign.py --iterations 2 --store runs/
 """
 
 import argparse
@@ -15,6 +20,7 @@ import time
 from pathlib import Path
 
 from repro import Campaign, PAPER, QUICK, RunConfig, SMOKE, striped_order
+from repro.store import RunStore
 from repro.analysis.adaptiveness import AdaptivenessPoint, adaptiveness
 from repro.analysis.render import (
     render_heatmap,
@@ -38,6 +44,10 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for per-run JSON results")
+    parser.add_argument("--store", type=Path, default=None,
+                        help="run store directory (cache + resumability)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="extra attempts per failing run")
     args = parser.parse_args()
     timeline = _PROFILES[args.profile]
 
@@ -46,8 +56,14 @@ def main() -> None:
           f"({args.iterations} iterations x 54 conditions), "
           f"{timeline.end:.0f}s each...")
     t0 = time.time()
-    campaign = Campaign(workers=args.workers).run(configs)
-    print(f"campaign done in {time.time() - t0:.0f}s\n")
+    store = RunStore(args.store) if args.store else None
+    campaign = Campaign(
+        workers=args.workers, store=store, retries=args.retries
+    ).run(configs)
+    report = campaign.report
+    print(f"campaign done in {time.time() - t0:.0f}s "
+          f"({report.cache_hits} from cache, {report.executed} executed, "
+          f"{report.retries} retries)\n")
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)

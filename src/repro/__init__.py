@@ -20,6 +20,8 @@ scratch:
   campaigns.
 - :mod:`repro.obs` -- zero-overhead tracepoint bus, sampled internal-
   state metrics, and event-loop profiling.
+- :mod:`repro.store` -- content-addressed run store and fault-tolerant,
+  resumable campaign scheduling.
 
 Quickstart::
 
@@ -54,6 +56,7 @@ from repro.experiments import (
     run_single,
     striped_order,
 )
+from repro.store import RunStore, config_fingerprint
 from repro.streaming.systems import GEFORCE, LUNA, STADIA, SYSTEMS, SystemProfile
 from repro.testbed.tc import RouterConfig, bdp_bytes, queue_limit_bytes
 from repro.testbed.topology import GameStreamingTestbed
@@ -74,6 +77,7 @@ __all__ = [
     "RouterConfig",
     "RunConfig",
     "RunResult",
+    "RunStore",
     "SMOKE",
     "STADIA",
     "SYSTEMS",
@@ -83,6 +87,7 @@ __all__ = [
     "Tracer",
     "bdp_bytes",
     "condition_grid",
+    "config_fingerprint",
     "load_trace",
     "queue_limit_bytes",
     "run_single",

@@ -12,6 +12,17 @@ Examples::
     # Table 1 (baseline bitrates, no constraint, no competitor)
     repro-gsnet table1 --iterations 3
 
+    # A resumable multi-condition campaign backed by a run store:
+    # re-running it serves every completed run from cache
+    repro-gsnet campaign --systems stadia luna --ccas cubic bbr \
+        --capacities 25 --queues 0.5 2 --iterations 3 \
+        --workers 4 --store runs/ --retries 2 --partial
+
+    # Inspect / check / clean the store
+    repro-gsnet store ls runs/
+    repro-gsnet store verify runs/
+    repro-gsnet store gc runs/
+
     # Capture a trace + metrics + profiler report, then inspect it
     repro-gsnet run --system stadia --cca bbr --profile smoke \
         --trace out.jsonl --metrics metrics.json --profile-sim
@@ -44,6 +55,7 @@ from repro.obs import (
     render_trace_summary,
     summarize_trace,
 )
+from repro.store import RunStore, StoreVersionError
 from repro.streaming.systems import SYSTEMS
 from repro.tcp import CCA_REGISTRY
 from repro.testbed.topology import QUEUE_DISCIPLINES
@@ -98,9 +110,79 @@ def _build_parser() -> argparse.ArgumentParser:
         help="profile the event loop and report per-callback wall time",
     )
 
+    run_parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="run store directory: serve this config from cache if "
+             "present, persist the result otherwise",
+    )
+
     cond_parser = sub.add_parser("condition", help="run several iterations")
     _add_condition_args(cond_parser)
     cond_parser.add_argument("--iterations", type=int, default=3)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run a (resumable) grid of conditions against a run store",
+    )
+    campaign_parser.add_argument(
+        "--systems", nargs="+", choices=sorted(SYSTEMS),
+        default=sorted(SYSTEMS), metavar="SYSTEM",
+    )
+    campaign_parser.add_argument(
+        "--ccas", nargs="+", choices=sorted(CCA_REGISTRY) + ["solo"],
+        default=["cubic", "bbr"], metavar="CCA",
+        help="competing flows to sweep ('solo' = no competitor)",
+    )
+    campaign_parser.add_argument(
+        "--capacities", nargs="+", type=float, default=[15.0, 25.0, 35.0],
+        metavar="MBPS", help="bottleneck capacities, Mb/s",
+    )
+    campaign_parser.add_argument(
+        "--queues", nargs="+", type=float, default=[0.5, 2.0, 7.0],
+        metavar="MULT", help="queue sizes, multiples of BDP",
+    )
+    campaign_parser.add_argument("--iterations", type=int, default=3)
+    campaign_parser.add_argument("--seed", type=int, default=0,
+                                 help="base seed (iteration i adds i)")
+    campaign_parser.add_argument(
+        "--profile", choices=sorted(_TIMELINES), default="quick",
+    )
+    campaign_parser.add_argument("--workers", type=int, default=1)
+    campaign_parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="run store directory (enables caching, checkpoints, resume)",
+    )
+    campaign_parser.add_argument(
+        "--resume", action="store_true",
+        help="with --store: report configs the checkpoint records as "
+             "permanently failed instead of re-executing them",
+    )
+    campaign_parser.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts per failing run (capped exponential backoff)",
+    )
+    campaign_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="force re-simulation even when the store has a result",
+    )
+    campaign_parser.add_argument(
+        "--partial", action="store_true",
+        help="record persistently failing configs instead of aborting",
+    )
+    campaign_parser.add_argument("--json", action="store_true",
+                                 help="emit a machine-readable summary")
+
+    store_parser = sub.add_parser("store", help="run-store maintenance")
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+    for name, help_text in (
+        ("ls", "list stored runs (manifest order)"),
+        ("verify", "check store integrity; exit 1 on problems"),
+        ("gc", "drop orphans, stray temp files, stale manifest entries"),
+    ):
+        store_cmd = store_sub.add_parser(name, help=help_text)
+        store_cmd.add_argument("path", help="store directory")
+        if name == "ls":
+            store_cmd.add_argument("--json", action="store_true")
 
     table1 = sub.add_parser("table1", help="baseline bitrates (paper Table 1)")
     table1.add_argument("--iterations", type=int, default=3)
@@ -145,11 +227,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 1
     metrics = MetricsRecorder() if args.metrics else None
     profiler = SimProfiler() if args.profile_sim else None
+    try:
+        store = RunStore(args.store) if args.store else None
+    except StoreVersionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     try:
         result = run_single(
             _make_config(args), tracer=tracer, metrics=metrics,
-            sim_profiler=profiler,
+            sim_profiler=profiler, store=store,
         )
     finally:
         if tracer is not None:
@@ -235,6 +322,124 @@ def _cmd_condition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.resume and not args.store:
+        print("error: --resume requires --store", file=sys.stderr)
+        return 2
+    timeline = _TIMELINES[args.profile]
+    configs = [
+        RunConfig(
+            system=system,
+            capacity_bps=capacity * 1e6,
+            queue_mult=queue,
+            cca=None if cca == "solo" else cca,
+            seed=args.seed + iteration,
+            timeline=timeline,
+        )
+        for iteration in range(args.iterations)
+        for cca in args.ccas
+        for capacity in args.capacities
+        for queue in args.queues
+        for system in args.systems
+    ]
+
+    try:
+        store = RunStore(args.store) if args.store else None
+    except StoreVersionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    progress = None
+    if not args.json:
+        def progress(done, total, label, wall_s):
+            print(f"  [{done}/{total}] {label} ({wall_s:.2f} s)")
+
+    campaign = Campaign(
+        workers=args.workers,
+        progress=progress,
+        store=store,
+        retries=args.retries,
+        partial=args.partial,
+        use_cache=not args.no_cache,
+        resume=args.resume,
+    ).run(configs)
+    report = campaign.report
+
+    summary = {
+        "campaign_id": report.campaign_id,
+        "total": len(configs),
+        "cache_hits": report.cache_hits,
+        "executed": report.executed,
+        "retries": report.retries,
+        "failures": [
+            {"label": f.config.label, "error": f.error, "attempts": f.attempts}
+            for f in report.failures
+        ],
+        "conditions": [
+            {
+                "system": c.system,
+                "cca": c.cca,
+                "capacity_bps": c.capacity_bps,
+                "queue_mult": c.queue_mult,
+                "runs": len(c.runs),
+            }
+            for c in campaign.conditions.values()
+        ],
+    }
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(f"campaign {report.campaign_id}: {len(configs)} runs | "
+              f"{report.cache_hits} from cache | {report.executed} executed | "
+              f"{report.retries} retries | {len(report.failures)} failed")
+        for failure in report.failures:
+            print(f"  FAILED {failure.config.label} "
+                  f"after {failure.attempts} attempt(s): {failure.error}")
+        for condition in campaign.conditions.values():
+            cca = condition.cca or "solo"
+            line = (f"  {condition.system} vs {cca} @ "
+                    f"{condition.capacity_bps / 1e6:g} Mb/s, "
+                    f"{condition.queue_mult:g}x BDP: "
+                    f"{len(condition.runs)} runs")
+            if condition.cca is not None:
+                line += f", fairness {condition.fairness():+.2f}"
+            print(line)
+    return 1 if report.failures else 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    try:
+        store = RunStore(args.path)
+    except (OSError, ValueError, StoreVersionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.store_command == "ls":
+        entries = store.ls()
+        if getattr(args, "json", False):
+            print(json.dumps(entries))
+            return 0
+        for entry in entries:
+            print(f"{entry['fp'][:12]}  {entry['label']}")
+        print(f"{len(entries)} stored run(s)")
+        return 0
+    if args.store_command == "verify":
+        problems = store.verify()
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"{len(problems)} problem(s)")
+            return 1
+        print(f"ok ({len(store.ls())} entries)")
+        return 0
+    # gc
+    stats = store.gc()
+    print(f"kept {stats['entries_kept']} entries | "
+          f"dropped {stats['entries_dropped']} stale manifest entries | "
+          f"removed {stats['objects_removed']} orphan objects, "
+          f"{stats['tmp_removed']} temp files")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     timeline = _TIMELINES[args.profile]
     configs = [
@@ -271,7 +476,9 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "condition": _cmd_condition,
+        "campaign": _cmd_campaign,
         "table1": _cmd_table1,
+        "store": _cmd_store,
         "inspect": _cmd_inspect,
         "list": _cmd_list,
     }

@@ -4,11 +4,19 @@ A :class:`Campaign` executes runs (optionally in parallel across
 processes -- each run is an independent simulation) and groups results
 by condition key ``(system, cca, capacity, queue_mult)`` for the
 analysis layer.
+
+Execution is delegated to
+:class:`~repro.store.scheduler.CampaignScheduler`: results stream back
+in completion order (no head-of-line blocking), a
+:class:`~repro.store.runstore.RunStore` serves repeated configs from
+cache and checkpoints progress so interrupted campaigns resume, and
+failing runs are retried with capped exponential backoff (or, in
+partial mode, recorded in :attr:`Campaign.failures` without sinking the
+rest of the campaign).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,8 +27,9 @@ from repro.analysis.stats import mean_std
 from repro.experiments.config import RunConfig
 from repro.experiments.profiles import Timeline
 from repro.experiments.results import RunResult
-from repro.experiments.runner import run_single
 from repro.obs.profiler import campaign_profile
+from repro.obs.trace import NULL_TRACER
+from repro.store.scheduler import CampaignScheduler
 
 __all__ = ["Campaign", "ConditionResult", "condition_key"]
 
@@ -39,16 +48,28 @@ class ConditionResult:
     queue_mult: float
     runs: list[RunResult] = field(default_factory=list)
 
+    def _require_runs(self, what: str) -> None:
+        """Empty conditions must fail loudly, not average to NaN."""
+        if not self.runs:
+            raise ValueError(
+                f"cannot compute {what}: condition ({self.system}, "
+                f"{self.cca}, {self.capacity_bps:g} bps, "
+                f"{self.queue_mult:g}x) has no runs"
+            )
+
     # -- aggregates used by the benchmark harness -------------------------
     def game_band(self) -> BitrateBand:
         """Mean bitrate over time with 95% CI (a Figure 2 line)."""
+        self._require_runs("game_band")
         return aggregate_bitrate_series([(r.times, r.game_bps) for r in self.runs])
 
     def iperf_band(self) -> BitrateBand:
+        self._require_runs("iperf_band")
         return aggregate_bitrate_series([(r.times, r.iperf_bps) for r in self.runs])
 
     def fairness(self) -> float:
         """Mean (game - iperf) / capacity over the fairness window."""
+        self._require_runs("fairness")
         ratios = [
             (r.fairness_game_bps - r.fairness_iperf_bps) / r.capacity_bps
             for r in self.runs
@@ -57,10 +78,12 @@ class ConditionResult:
 
     def baseline_bitrate(self) -> tuple[float, float]:
         """Mean/std of the per-run baseline (Table 1 uses solo runs)."""
+        self._require_runs("baseline_bitrate")
         return mean_std([r.solo_bps for r in self.runs])
 
     def rtt_cell(self, timeline: Timeline, window: str = "contention") -> tuple[float, float]:
         """Pooled RTT mean/std over a window ("contention" or "solo")."""
+        self._require_runs("rtt_cell")
         lo, hi = (
             timeline.contention_window if window == "contention" else timeline.solo_window
         )
@@ -71,13 +94,16 @@ class ConditionResult:
         return mean_std(np.concatenate(pools))
 
     def loss_cell(self) -> tuple[float, float]:
+        self._require_runs("loss_cell")
         return mean_std([r.game_loss_rate for r in self.runs])
 
     def framerate_cell(self) -> tuple[float, float]:
+        self._require_runs("framerate_cell")
         return mean_std([r.displayed_fps_contention for r in self.runs])
 
     def response_recovery(self, timeline: Timeline) -> tuple[float, float]:
         """Mean per-run response and recovery times (Section 4.2)."""
+        self._require_runs("response_recovery")
         adj_lo, adj_hi = timeline.adjusted_window
         responses, recoveries = [], []
         for r in self.runs:
@@ -115,41 +141,87 @@ class Campaign:
     Args:
         workers: process-pool width (1 = run inline).
         progress: optional callback ``(done, total, label, wall_s)``
-            invoked after each run completes.
+            invoked after each run completes (completion order).
+        store: optional :class:`~repro.store.runstore.RunStore`; runs
+            already stored are served from cache and new results are
+            persisted as they complete, so a re-run or an interrupted
+            campaign only executes what is missing.
+        retries: extra attempts per failing run (capped exponential
+            backoff between attempts).
+        partial: record persistently failing configs in
+            :attr:`failures` instead of aborting the campaign.
+        use_cache: set False to force re-simulation even with a store
+            (fresh results still overwrite the stored ones).
+        resume: report configs the campaign checkpoint records as
+            permanently failed instead of re-executing them.
+        tracer: optional tracepoint bus for scheduler events
+            (``store.hit``/``store.miss``/``sched.*``).
     """
 
-    def __init__(self, workers: int = 1, progress=None):
+    def __init__(
+        self,
+        workers: int = 1,
+        progress=None,
+        store=None,
+        retries: int = 0,
+        partial: bool = False,
+        use_cache: bool = True,
+        resume: bool = False,
+        tracer=NULL_TRACER,
+    ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.progress = progress
+        self.store = store
+        self.retries = retries
+        self.partial = partial
+        self.use_cache = use_cache
+        self.resume = resume
+        self.tracer = tracer
         self.conditions: dict[tuple, ConditionResult] = {}
         #: Per-run (label, wall seconds), in completion order.
         self.wall_times: list[tuple[str, float]] = []
+        #: The last run's scheduler report (cache hits, retries, ...).
+        self.report = None
 
     @staticmethod
     def _label(result: RunResult) -> str:
         return (
             f"{result.system}/{result.cca or 'solo'}"
             f"/{result.capacity_bps / 1e6:g}mbps"
-            f"/q{result.queue_mult:g}/s{result.seed}"
+            f"/q{result.queue_mult:g}/{result.qdisc}/s{result.seed}"
         )
 
     def run(self, configs: list[RunConfig]) -> "Campaign":
-        """Run every config, grouping results by condition."""
-        total = len(configs)
-        if self.workers == 1:
-            iterator = map(run_single, configs)
-            for done, result in enumerate(iterator, start=1):
-                self._finish_run(result, done, total)
-        else:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                iterator = pool.map(run_single, configs, chunksize=1)
-                for done, result in enumerate(iterator, start=1):
-                    self._finish_run(result, done, total)
+        """Run every config, grouping results by condition.
+
+        Cached runs count toward progress like executed ones; a config
+        that keeps failing raises
+        :class:`~repro.store.scheduler.CampaignError` unless
+        ``partial=True``, in which case it lands in :attr:`failures`.
+        """
+        scheduler = CampaignScheduler(
+            workers=self.workers,
+            store=self.store,
+            retries=self.retries,
+            partial=self.partial,
+            use_cache=self.use_cache,
+            resume=self.resume,
+            tracer=self.tracer,
+            on_result=self._finish_run,
+        )
+        self.report = scheduler.run(configs)
         return self
 
-    def _finish_run(self, result: RunResult, done: int, total: int) -> None:
+    @property
+    def failures(self) -> list:
+        """Persistent failures from the last ``run`` (partial mode)."""
+        return [] if self.report is None else self.report.failures
+
+    def _finish_run(
+        self, result: RunResult, done: int, total: int, cached: bool
+    ) -> None:
         label = self._label(result)
         self.wall_times.append((label, result.wall_time_s))
         self.add(result)

@@ -10,6 +10,8 @@ serialises to plain JSON for storage.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -156,7 +158,24 @@ class RunResult:
         )
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict()))
+        """Write the JSON serialisation atomically.
+
+        The text lands in a temporary file in the destination directory
+        and is published with ``os.replace``, so an interrupted save
+        can never leave a truncated file at ``path``.
+        """
+        path = Path(path)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(self.to_dict()))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "RunResult":

@@ -29,6 +29,7 @@ def run_single(
     tracer: Tracer | None = None,
     metrics: MetricsRecorder | None = None,
     sim_profiler: SimProfiler | None = None,
+    store=None,
 ) -> RunResult:
     """Execute one run and return its measurements.
 
@@ -40,7 +41,18 @@ def run_single(
             by the testbed.
         sim_profiler: optional event-loop profiler, attached for the
             duration of the run.
+        store: optional :class:`~repro.store.runstore.RunStore`; a
+            stored result for this config is returned without
+            simulating (only when no tracer/metrics/profiler is
+            requested -- those need the run to actually happen), and a
+            fresh result is persisted before returning.
     """
+    if store is not None:
+        observed = tracer is not None or metrics is not None or sim_profiler is not None
+        if not observed:
+            cached = store.get(config)
+            if cached is not None:
+                return cached
     wall_start = perf_counter()
     timeline = config.timeline
     router = RouterConfig(rate_bps=config.capacity_bps, queue_mult=config.queue_mult)
@@ -85,6 +97,8 @@ def run_single(
     result.wall_time_s = perf_counter() - wall_start
     if sim_profiler is not None:
         result.profile = sim_profiler.summary()
+    if store is not None:
+        store.put(config, result)
     return result
 
 

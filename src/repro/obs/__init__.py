@@ -16,12 +16,14 @@ from the inside:
   ``repro-gsnet inspect`` subcommand).
 """
 
+from repro.obs.counters import CounterSet
 from repro.obs.inspect import load_trace, render_trace_summary, summarize_trace
 from repro.obs.metrics import MetricsRecorder
 from repro.obs.profiler import SimProfiler, campaign_profile
 from repro.obs.trace import JsonlSink, MemorySink, NULL_TRACER, Tracer
 
 __all__ = [
+    "CounterSet",
     "JsonlSink",
     "MemorySink",
     "MetricsRecorder",

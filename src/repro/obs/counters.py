@@ -1,0 +1,32 @@
+"""Named monotone counters for wall-clock-side components.
+
+:class:`~repro.obs.metrics.MetricsRecorder` samples *simulation*-time
+series and needs a simulator to bind to; schedulers and stores live
+outside any simulation, so they count with a :class:`CounterSet` --
+a plain named-integer bag with no clock at all.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CounterSet"]
+
+
+class CounterSet:
+    """A bag of named monotonically increasing integers."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def inc(self, name: str, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError(f"counters only go up; got inc({name!r}, {by})")
+        self._counts[name] = self._counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def to_dict(self) -> dict:
+        return dict(sorted(self._counts.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CounterSet {self.to_dict()}>"

@@ -1,0 +1,44 @@
+"""Content-addressed run store and fault-tolerant campaign scheduling.
+
+The paper's artefacts aggregate many repeated runs per condition; this
+package makes those campaigns cheap to re-run and safe to interrupt:
+
+- :mod:`repro.store.fingerprint` -- deterministic SHA-256 keys for
+  :class:`~repro.experiments.config.RunConfig` (canonical JSON + store
+  format version).
+- :mod:`repro.store.runstore` -- the sharded on-disk store: compressed
+  ``.npz`` arrays + JSON metadata per result, atomic writes, and a
+  manifest index with ``ls``/``verify``/``gc``.
+- :mod:`repro.store.scheduler` -- cache-first, completion-order
+  dispatch with retries, capped exponential backoff, crash-safe
+  checkpoints, and a partial-results mode.
+
+:class:`~repro.experiments.campaign.Campaign` drives the scheduler; the
+``repro-gsnet campaign`` and ``repro-gsnet store`` CLI commands expose
+both to the shell.
+"""
+
+from repro.store.fingerprint import (
+    STORE_FORMAT_VERSION,
+    canonical_json,
+    config_fingerprint,
+)
+from repro.store.runstore import RunStore, StoreVersionError
+from repro.store.scheduler import (
+    CampaignError,
+    CampaignReport,
+    CampaignScheduler,
+    RunFailure,
+)
+
+__all__ = [
+    "CampaignError",
+    "CampaignReport",
+    "CampaignScheduler",
+    "RunFailure",
+    "RunStore",
+    "STORE_FORMAT_VERSION",
+    "StoreVersionError",
+    "canonical_json",
+    "config_fingerprint",
+]

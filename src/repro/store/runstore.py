@@ -1,0 +1,306 @@
+"""The content-addressed on-disk run store.
+
+Layout (everything under one root directory)::
+
+    <root>/
+      store.json                      # {"format": STORE_FORMAT_VERSION}
+      manifest.jsonl                  # append-only index, one entry/put
+      objects/<fp[:2]>/<fp>/
+        meta.json                     # scalars + provenance (atomic write)
+        arrays.npz                    # compressed series (atomic write)
+      campaigns/<campaign id>.json    # scheduler checkpoints
+
+Results are keyed by the config fingerprint
+(:func:`~repro.store.fingerprint.config_fingerprint`), sharded by the
+first two hex digits so no directory grows unbounded.  Every file is
+written to a temporary name in its final directory and published with
+``os.replace``, so a crash mid-write can leave stray ``*.tmp*`` litter
+(collected by :meth:`RunStore.gc`) but never a truncated object.
+
+The manifest is an append-only JSONL index: ``ls`` is one sequential
+read instead of a directory walk, duplicate puts are deduplicated on
+load (last entry wins), and a torn final line -- the worst a crash
+during append can do -- is skipped on read and healed by ``gc``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.results import RunResult
+from repro.store.fingerprint import (
+    STORE_FORMAT_VERSION,
+    canonical_json,
+    config_fingerprint,
+    config_identity,
+)
+
+__all__ = ["RunStore", "StoreVersionError"]
+
+#: RunResult fields held as arrays in ``arrays.npz`` (everything else
+#: lives in ``meta.json``).
+_ARRAY_FIELDS = ("times", "game_bps", "iperf_bps", "rtt_samples", "target_log")
+
+
+class StoreVersionError(RuntimeError):
+    """An on-disk store was written by an incompatible format version."""
+
+
+class RunStore:
+    """Content-addressed persistence for :class:`RunResult`.
+
+    Args:
+        root: store directory; created (with parents) if missing.
+
+    Opening a directory written by a different format version raises
+    :class:`StoreVersionError` -- point the campaign at a fresh
+    directory instead of mixing layouts.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.campaigns = self.root / "campaigns"
+        self.manifest_path = self.root / "manifest.jsonl"
+        self.objects.mkdir(parents=True, exist_ok=True)
+        self.campaigns.mkdir(exist_ok=True)
+        self._check_version()
+
+    def _check_version(self) -> None:
+        marker = self.root / "store.json"
+        if marker.exists():
+            info = json.loads(marker.read_text())
+            if info.get("format") != STORE_FORMAT_VERSION:
+                raise StoreVersionError(
+                    f"store at {self.root} has format {info.get('format')}, "
+                    f"this build writes format {STORE_FORMAT_VERSION}; "
+                    "use a new directory (or gc the old one with the "
+                    "matching build)"
+                )
+        else:
+            _atomic_write_text(
+                marker, canonical_json({"format": STORE_FORMAT_VERSION})
+            )
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def fingerprint(self, config) -> str:
+        return config_fingerprint(config)
+
+    def _object_dir(self, fp: str) -> Path:
+        return self.objects / fp[:2] / fp
+
+    def __contains__(self, config) -> bool:
+        return self.contains_fp(self.fingerprint(config))
+
+    def contains_fp(self, fp: str) -> bool:
+        obj = self._object_dir(fp)
+        return (obj / "meta.json").exists() and (obj / "arrays.npz").exists()
+
+    def __len__(self) -> int:
+        return len(self.ls())
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def put(self, config, result: RunResult) -> str:
+        """Persist ``result`` under ``config``'s fingerprint; return it."""
+        fp = self.fingerprint(config)
+        obj = self._object_dir(fp)
+        obj.mkdir(parents=True, exist_ok=True)
+
+        data = result.to_dict()
+        arrays = {name: np.asarray(data.pop(name)) for name in _ARRAY_FIELDS}
+        _atomic_write_npz(obj / "arrays.npz", arrays)
+        _atomic_write_text(obj / "meta.json", json.dumps(data))
+
+        entry = {"fp": fp, **config_identity(config), "label": config.label}
+        self._append_manifest(entry)
+        return fp
+
+    def get(self, config) -> RunResult | None:
+        """The stored result for ``config``, or None on a cache miss."""
+        return self.get_fp(self.fingerprint(config))
+
+    def get_fp(self, fp: str) -> RunResult | None:
+        obj = self._object_dir(fp)
+        try:
+            data = json.loads((obj / "meta.json").read_text())
+            with np.load(obj / "arrays.npz") as npz:
+                for name in _ARRAY_FIELDS:
+                    data[name] = npz[name]
+        except (OSError, ValueError, KeyError):
+            return None
+        return RunResult.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Manifest operations
+    # ------------------------------------------------------------------
+    def _append_manifest(self, entry: dict) -> None:
+        with open(self.manifest_path, "a") as fh:
+            fh.write(canonical_json(entry) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def ls(self) -> list[dict]:
+        """Manifest entries, deduplicated by fingerprint (last put wins)."""
+        if not self.manifest_path.exists():
+            return []
+        entries: dict[str, dict] = {}
+        for line in self.manifest_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn final line from a crash mid-append
+            entries[entry["fp"]] = entry
+        return list(entries.values())
+
+    def verify(self) -> list[str]:
+        """Integrity report; an empty list means the store is sound.
+
+        Checks that every manifest entry has readable object files whose
+        recomputed fingerprint matches its key, and reports object
+        directories the manifest does not know about.
+        """
+        problems = []
+        indexed = set()
+        for entry in self.ls():
+            fp = entry["fp"]
+            indexed.add(fp)
+            obj = self._object_dir(fp)
+            for name in ("meta.json", "arrays.npz"):
+                if not (obj / name).exists():
+                    problems.append(f"{fp}: missing {name}")
+            if problems and problems[-1].startswith(fp):
+                continue
+            try:
+                meta = json.loads((obj / "meta.json").read_text())
+                with np.load(obj / "arrays.npz") as npz:
+                    for name in _ARRAY_FIELDS:
+                        npz[name]
+            except (OSError, ValueError, KeyError) as exc:
+                problems.append(f"{fp}: unreadable object ({exc})")
+                continue
+            recomputed = _fingerprint_of_meta(meta)
+            if recomputed != fp:
+                problems.append(
+                    f"{fp}: metadata fingerprints to {recomputed} "
+                    "(object corrupted or store format drift)"
+                )
+        for obj in self._object_dirs():
+            if obj.name not in indexed:
+                problems.append(f"{obj.name}: object not in manifest")
+        return problems
+
+    def gc(self) -> dict:
+        """Collect garbage; returns counts of what was removed/healed.
+
+        Drops manifest entries whose objects are gone, deletes object
+        directories the manifest does not reference, removes stray
+        temporary files from interrupted writes, and rewrites the
+        manifest compacted (atomically).
+        """
+        entries = {e["fp"]: e for e in self.ls()}
+        kept = {fp: e for fp, e in entries.items() if self.contains_fp(fp)}
+        dropped_entries = len(entries) - len(kept)
+
+        removed_objects = 0
+        for obj in self._object_dirs():
+            if obj.name not in kept:
+                for child in obj.iterdir():
+                    child.unlink()
+                obj.rmdir()
+                removed_objects += 1
+
+        removed_tmp = 0
+        for tmp in self.root.rglob("*.tmp*"):
+            tmp.unlink()
+            removed_tmp += 1
+
+        lines = "".join(
+            canonical_json(e) + "\n" for e in kept.values()
+        )
+        _atomic_write_text(self.manifest_path, lines)
+        return {
+            "entries_dropped": dropped_entries,
+            "objects_removed": removed_objects,
+            "tmp_removed": removed_tmp,
+            "entries_kept": len(kept),
+        }
+
+    def _object_dirs(self):
+        for shard in sorted(self.objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for obj in sorted(shard.iterdir()):
+                if obj.is_dir():
+                    yield obj
+
+    # ------------------------------------------------------------------
+    # Campaign checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, campaign_id: str) -> Path:
+        return self.campaigns / f"{campaign_id}.json"
+
+    def load_checkpoint(self, campaign_id: str) -> dict | None:
+        path = self.checkpoint_path(campaign_id)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except ValueError:
+            return None  # torn write: start the campaign over
+
+    def save_checkpoint(self, campaign_id: str, state: dict) -> None:
+        _atomic_write_text(self.checkpoint_path(campaign_id), json.dumps(state))
+
+
+def _fingerprint_of_meta(meta: dict) -> str:
+    """Recompute the fingerprint from a stored object's metadata."""
+    class _Shim:
+        system = meta["system"]
+        cca = meta["cca"]
+        capacity_bps = meta["capacity_bps"]
+        queue_mult = meta["queue_mult"]
+        seed = meta["seed"]
+        qdisc = meta.get("qdisc", "droptail")
+
+        class timeline:
+            scale = meta["timeline_scale"]
+
+    return config_fingerprint(_Shim)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` via same-directory temp + rename."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _atomic_write_npz(path: Path, arrays: dict) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp.npz")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise

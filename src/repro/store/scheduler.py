@@ -1,0 +1,365 @@
+"""Fault-tolerant, cache-first campaign scheduling.
+
+:class:`CampaignScheduler` is the execution engine behind
+:class:`~repro.experiments.campaign.Campaign`:
+
+- **cache first** -- every config is fingerprinted and looked up in the
+  :class:`~repro.store.runstore.RunStore` before anything is submitted;
+  only misses are simulated.
+- **completion-order dispatch** -- with ``workers > 1`` runs are
+  submitted to a process pool and collected as they finish
+  (no head-of-line blocking, unlike ``pool.map``).
+- **retries with capped exponential backoff** -- a failing run is
+  retried up to ``retries`` times, sleeping
+  ``min(backoff_cap, backoff_base * 2**(attempt-1))`` between attempts.
+- **crash-safe checkpointing** -- completed results are persisted to
+  the store as they arrive and a per-campaign checkpoint (keyed by the
+  hash of the sorted run fingerprints) records completions and
+  failures atomically, so an interrupted campaign resumes with only
+  its incomplete runs re-executed.
+- **partial-results mode** -- ``partial=True`` records persistently
+  failing configs in the report instead of aborting the campaign.
+
+Scheduler tracepoints (``store.hit``, ``store.miss``, ``sched.dispatch``,
+``sched.retry``, ``sched.done``, ``sched.fail``) are emitted on the
+wall-clock side of the system, so their ``t`` field is a monotone
+dispatch sequence number, not simulation time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import run_single
+from repro.obs.counters import CounterSet
+from repro.obs.trace import NULL_TRACER
+from repro.store.fingerprint import config_fingerprint
+
+__all__ = ["CampaignScheduler", "CampaignReport", "RunFailure", "CampaignError"]
+
+
+class CampaignError(RuntimeError):
+    """A run exhausted its retries and the campaign is not in partial mode."""
+
+
+@dataclass
+class RunFailure:
+    """One config that kept failing after every retry."""
+
+    config: object
+    fingerprint: str
+    error: str
+    attempts: int
+
+
+@dataclass
+class CampaignReport:
+    """What the scheduler did: results plus cache/retry/failure accounting."""
+
+    results: list = field(default_factory=list)  # completion order
+    cache_hits: int = 0
+    executed: int = 0
+    retries: int = 0
+    failures: list[RunFailure] = field(default_factory=list)
+    campaign_id: str | None = None
+
+    @property
+    def total(self) -> int:
+        return self.cache_hits + self.executed + len(self.failures)
+
+    def counters(self) -> dict:
+        return {
+            "store.hits": self.cache_hits,
+            "store.misses": self.executed + len(self.failures),
+            "sched.executed": self.executed,
+            "sched.retries": self.retries,
+            "sched.failures": len(self.failures),
+        }
+
+
+def campaign_id(fingerprints: list[str]) -> str:
+    """Deterministic id of a campaign: hash of its sorted run keys."""
+    digest = hashlib.sha256()
+    for fp in sorted(fingerprints):
+        digest.update(fp.encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class _Pending:
+    config: object
+    fingerprint: str
+    attempts: int = 0
+
+
+class CampaignScheduler:
+    """Run configs through the cache, a worker pool, and retry logic.
+
+    Args:
+        workers: process-pool width (1 = run inline, in order).
+        store: optional :class:`RunStore`; enables caching, result
+            persistence, and checkpointing.
+        retries: extra attempts per run after the first failure.
+        backoff_base: first retry delay, seconds (doubles per attempt).
+        backoff_cap: upper bound on any single retry delay.
+        partial: record persistent failures instead of raising.
+        use_cache: look configs up in the store before executing
+            (disable to force re-simulation; results are still stored).
+        checkpoint: write/load the per-campaign checkpoint (needs a
+            store; resuming serves completed runs from the cache).
+        resume: honour the checkpoint's failure record -- configs that
+            already failed permanently are reported as failures without
+            being re-executed (run without ``resume`` to retry them).
+        on_result: callback ``(result, done, total, cached)`` invoked in
+            completion order for every finished run.
+        tracer: optional tracepoint bus for scheduler events.
+        run_fn: the per-config executor (tests substitute fakes; must be
+            picklable when ``workers > 1``).
+        sleep: injection point for backoff delays.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        store=None,
+        retries: int = 0,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        partial: bool = False,
+        use_cache: bool = True,
+        checkpoint: bool = True,
+        resume: bool = False,
+        on_result=None,
+        tracer=NULL_TRACER,
+        run_fn=run_single,
+        sleep=time.sleep,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.workers = workers
+        self.store = store
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.partial = partial
+        self.use_cache = use_cache
+        self.checkpoint = checkpoint and store is not None
+        self.resume = resume
+        self.on_result = on_result
+        self.tracer = tracer
+        self.run_fn = run_fn
+        self._sleep = sleep
+        self.counters = CounterSet()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def run(self, configs: list) -> CampaignReport:
+        self.counters = CounterSet()
+        report = CampaignReport()
+        fingerprints = [config_fingerprint(c) for c in configs]
+        report.campaign_id = campaign_id(fingerprints)
+        total = len(configs)
+        done = 0
+        state = self._load_checkpoint(report.campaign_id, total)
+
+        # Phase 1: serve whatever the store already has.
+        pending: list[_Pending] = []
+        for config, fp in zip(configs, fingerprints):
+            cached = self._lookup(config, fp)
+            if cached is not None:
+                done += 1
+                report.cache_hits += 1
+                self.counters.inc("store.hits")
+                self._emit("store.hit", fp=fp, label=config.label)
+                self._checkpoint_mark(state, report.campaign_id, fp, "completed")
+                if self.on_result is not None:
+                    self.on_result(cached, done, total, True)
+                report.results.append(cached)
+            elif (
+                self.resume
+                and state is not None
+                and fp in state["failed"]
+            ):
+                # A resumed campaign reports recorded permanent failures
+                # instead of burning time re-failing them.
+                info = state["failed"][fp]
+                report.failures.append(
+                    RunFailure(
+                        config=config,
+                        fingerprint=fp,
+                        error=info.get("error", "recorded failure"),
+                        attempts=info.get("attempts", 0),
+                    )
+                )
+                self.counters.inc("sched.failures")
+                self._emit("sched.skip_failed", fp=fp, label=config.label)
+            else:
+                self.counters.inc("store.misses")
+                self._emit("store.miss", fp=fp, label=config.label)
+                pending.append(_Pending(config, fp))
+
+        # Phase 2: execute the misses, completion order, with retries.
+        if pending:
+            if self.workers == 1:
+                outcomes = self._run_serial(pending)
+            else:
+                outcomes = self._run_pool(pending)
+            for item, result, error in outcomes:
+                done += 1
+                if result is not None:
+                    report.executed += 1
+                    self.counters.inc("sched.executed")
+                    if self.store is not None:
+                        self.store.put(item.config, result)
+                        self._emit("store.put", fp=item.fingerprint)
+                    self._checkpoint_mark(
+                        state, report.campaign_id, item.fingerprint, "completed"
+                    )
+                    if self.on_result is not None:
+                        self.on_result(result, done, total, False)
+                    report.results.append(result)
+                else:
+                    failure = RunFailure(
+                        config=item.config,
+                        fingerprint=item.fingerprint,
+                        error=error,
+                        attempts=item.attempts,
+                    )
+                    report.failures.append(failure)
+                    self.counters.inc("sched.failures")
+                    self._emit(
+                        "sched.fail", fp=item.fingerprint,
+                        attempts=item.attempts, error=error,
+                    )
+                    self._checkpoint_mark(
+                        state, report.campaign_id, item.fingerprint,
+                        "failed", error=error, attempts=item.attempts,
+                    )
+        report.retries = self.counters.get("sched.retries")
+        return report
+
+    # ------------------------------------------------------------------
+    # Execution backends.  Both yield (item, result | None, error | None)
+    # in completion order; a None result is a persistent failure (only
+    # possible in partial mode -- otherwise they raise CampaignError).
+    # ------------------------------------------------------------------
+    def _run_serial(self, pending: list[_Pending]):
+        for item in pending:
+            while True:
+                item.attempts += 1
+                self._emit(
+                    "sched.dispatch", fp=item.fingerprint,
+                    attempt=item.attempts, label=item.config.label,
+                )
+                try:
+                    result = self.run_fn(item.config)
+                except Exception as exc:
+                    outcome = self._handle_failure(item, exc)
+                    if outcome == "retry":
+                        continue
+                    yield item, None, _describe(exc)
+                    break
+                self._emit("sched.done", fp=item.fingerprint)
+                yield item, result, None
+                break
+
+    def _run_pool(self, pending: list[_Pending]):
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {}
+            for item in pending:
+                item.attempts += 1
+                self._emit(
+                    "sched.dispatch", fp=item.fingerprint,
+                    attempt=item.attempts, label=item.config.label,
+                )
+                futures[pool.submit(self.run_fn, item.config)] = item
+            while futures:
+                completed, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in completed:
+                    item = futures.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        self._emit("sched.done", fp=item.fingerprint)
+                        yield item, future.result(), None
+                        continue
+                    try:
+                        outcome = self._handle_failure(item, exc)
+                    except CampaignError:
+                        for leftover in futures:
+                            leftover.cancel()
+                        raise
+                    if outcome == "retry":
+                        item.attempts += 1
+                        self._emit(
+                            "sched.dispatch", fp=item.fingerprint,
+                            attempt=item.attempts, label=item.config.label,
+                        )
+                        futures[pool.submit(self.run_fn, item.config)] = item
+                    else:
+                        yield item, None, _describe(exc)
+
+    def _handle_failure(self, item: _Pending, exc: Exception) -> str:
+        """Decide retry / record / abort for one failed attempt."""
+        if item.attempts <= self.retries:
+            delay = min(
+                self.backoff_cap,
+                self.backoff_base * 2 ** (item.attempts - 1),
+            )
+            self.counters.inc("sched.retries")
+            self._emit(
+                "sched.retry", fp=item.fingerprint,
+                attempt=item.attempts, delay=delay, error=_describe(exc),
+            )
+            self._sleep(delay)
+            return "retry"
+        if self.partial:
+            return "record"
+        raise CampaignError(
+            f"run {item.config.label} failed after {item.attempts} "
+            f"attempt(s): {_describe(exc)}"
+        ) from exc
+
+    # ------------------------------------------------------------------
+    # Store / checkpoint / trace plumbing
+    # ------------------------------------------------------------------
+    def _lookup(self, config, fp: str):
+        if self.store is None or not self.use_cache:
+            return None
+        return self.store.get_fp(fp)
+
+    def _load_checkpoint(self, cid: str, total: int) -> dict | None:
+        if not self.checkpoint:
+            return None
+        state = self.store.load_checkpoint(cid)
+        if state is None or state.get("total") != total:
+            state = {"id": cid, "total": total, "completed": [], "failed": {}}
+        state["completed"] = list(state.get("completed", []))
+        state["failed"] = dict(state.get("failed", {}))
+        return state
+
+    def _checkpoint_mark(
+        self, state, cid: str, fp: str, status: str, **info
+    ) -> None:
+        if state is None:
+            return
+        if status == "completed":
+            state["failed"].pop(fp, None)
+            if fp not in state["completed"]:
+                state["completed"].append(fp)
+        else:
+            state["failed"][fp] = info
+        self.store.save_checkpoint(cid, state)
+
+    def _emit(self, ev: str, **fields) -> None:
+        if self.tracer.enabled:
+            self._seq += 1
+            self.tracer.emit(ev, float(self._seq), **fields)
+
+
+def _describe(exc: Exception) -> str:
+    return f"{type(exc).__name__}: {exc}"

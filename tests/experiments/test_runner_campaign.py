@@ -64,6 +64,21 @@ class TestRunSingle:
         assert np.allclose(loaded.game_bps, competing_result.game_bps)
         assert np.allclose(loaded.rtt_samples, competing_result.rtt_samples)
 
+    def test_save_is_atomic(self, competing_result, tmp_path):
+        # The JSON is published by rename: no temp litter on success,
+        # and a failing save leaves the previous file untouched.
+        path = tmp_path / "run.json"
+        competing_result.save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["run.json"]
+        before = path.read_text()
+
+        broken = RunResult.load(path)
+        broken.profile = object()  # json.dumps will raise
+        with pytest.raises(TypeError):
+            broken.save(path)
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["run.json"]
+
 
 class TestCampaign:
     def test_groups_by_condition(self):
@@ -102,3 +117,70 @@ class TestCampaign:
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             Campaign(workers=0)
+
+    def test_label_includes_qdisc(self):
+        cfg = RunConfig("stadia", 25e6, 2.0, cca="cubic", seed=1,
+                        timeline=SMOKE, qdisc="codel")
+        campaign = Campaign().run([cfg])
+        (label, _), = campaign.wall_times
+        assert label == "stadia/cubic/25mbps/q2/codel/s1"
+
+    def test_empty_condition_aggregates_raise(self):
+        from repro.experiments.campaign import ConditionResult
+
+        empty = ConditionResult(
+            system="luna", cca="cubic", capacity_bps=25e6, queue_mult=2.0
+        )
+        for call in (
+            empty.fairness,
+            empty.baseline_bitrate,
+            empty.game_band,
+            empty.iperf_band,
+            empty.loss_cell,
+            empty.framerate_cell,
+            lambda: empty.rtt_cell(SMOKE),
+            lambda: empty.response_recovery(SMOKE),
+        ):
+            with pytest.raises(ValueError, match="luna.*cubic.*no runs"):
+                call()
+
+
+class TestParallelCampaign:
+    def test_workers2_matches_serial_and_reports_progress(self):
+        configs = [
+            RunConfig("luna", 25e6, 2.0, cca="cubic", seed=s, timeline=SMOKE)
+            for s in (1, 2)
+        ] + [
+            RunConfig("luna", 25e6, 7.0, cca="cubic", seed=1, timeline=SMOKE)
+        ]
+        serial = Campaign(workers=1).run(configs)
+
+        calls = []
+        parallel = Campaign(
+            workers=2,
+            progress=lambda done, total, label, wall: calls.append(
+                (done, total, label)
+            ),
+        ).run(configs)
+
+        # The progress callback fired once per run, with done counting
+        # up monotonically to the total.
+        assert [(done, total) for done, total, _ in calls] == \
+            [(1, 3), (2, 3), (3, 3)]
+        assert len({label for _, _, label in calls}) == 3
+
+        # Grouping is identical to the serial path...
+        assert set(parallel.conditions) == set(serial.conditions)
+        for key, serial_condition in serial.conditions.items():
+            parallel_condition = parallel.conditions[key]
+            assert len(parallel_condition.runs) == len(serial_condition.runs)
+            # ... and so are the measurements (completion order may
+            # differ, so compare per-seed).
+            by_seed = {r.seed: r for r in parallel_condition.runs}
+            for expected in serial_condition.runs:
+                actual = by_seed[expected.seed]
+                assert np.allclose(actual.game_bps, expected.game_bps)
+                assert actual.game_loss_rate == expected.game_loss_rate
+            assert parallel_condition.fairness() == pytest.approx(
+                serial_condition.fairness()
+            )

@@ -1,0 +1,84 @@
+"""Unit tests for canonical-JSON config fingerprints."""
+
+import json
+
+import pytest
+
+from repro.experiments import RunConfig, SMOKE, QUICK
+from repro.store.fingerprint import (
+    STORE_FORMAT_VERSION,
+    canonical_json,
+    config_fingerprint,
+    config_identity,
+)
+
+
+def _cfg(**overrides):
+    base = dict(
+        system="stadia", capacity_bps=25e6, queue_mult=2.0,
+        cca="cubic", seed=3, timeline=SMOKE, qdisc="droptail",
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestFingerprint:
+    def test_is_sha256_hex(self):
+        fp = config_fingerprint(_cfg())
+        assert len(fp) == 64
+        int(fp, 16)  # all hex digits
+
+    def test_stable_across_equal_configs(self):
+        # Distinct objects with equal fields must collide (that is the
+        # whole point: a re-created config finds the stored result).
+        assert config_fingerprint(_cfg()) == config_fingerprint(_cfg())
+
+    def test_known_digest_pinned(self):
+        """The fingerprint is part of the on-disk format: changing how
+        it is computed invalidates every existing store, so a change
+        here must be deliberate (bump STORE_FORMAT_VERSION)."""
+        import hashlib
+
+        identity = config_identity(_cfg())
+        identity["store_format"] = STORE_FORMAT_VERSION
+        expected = hashlib.sha256(
+            json.dumps(
+                identity, sort_keys=True, separators=(",", ":")
+            ).encode()
+        ).hexdigest()
+        assert config_fingerprint(_cfg()) == expected
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"system": "luna"},
+            {"capacity_bps": 15e6},
+            {"queue_mult": 7.0},
+            {"cca": "bbr"},
+            {"cca": None},
+            {"seed": 4},
+            {"timeline": QUICK},
+            {"qdisc": "codel"},
+        ],
+    )
+    def test_every_identity_field_changes_the_key(self, override):
+        assert config_fingerprint(_cfg(**override)) != config_fingerprint(_cfg())
+
+    def test_format_version_changes_the_key(self):
+        cfg = _cfg()
+        assert config_fingerprint(cfg, version=STORE_FORMAT_VERSION + 1) != (
+            config_fingerprint(cfg)
+        )
+
+    def test_identity_is_plain_json(self):
+        identity = config_identity(_cfg())
+        assert json.loads(json.dumps(identity)) == identity

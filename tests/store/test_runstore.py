@@ -1,0 +1,217 @@
+"""Unit tests for the content-addressed run store (synthetic results)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import RunConfig, SMOKE
+from repro.experiments.results import RunResult
+from repro.store import RunStore, StoreVersionError
+from repro.store.fingerprint import STORE_FORMAT_VERSION
+
+
+def make_config(seed=0, **overrides):
+    base = dict(
+        system="stadia", capacity_bps=25e6, queue_mult=2.0,
+        cca="cubic", seed=seed, timeline=SMOKE,
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+def make_result(config) -> RunResult:
+    """A small synthetic result carrying the config's identity."""
+    rng = np.random.default_rng(config.seed)
+    times = np.arange(0.25, 10.0, 0.5)
+    return RunResult(
+        system=config.system,
+        cca=config.cca,
+        capacity_bps=config.capacity_bps,
+        queue_mult=config.queue_mult,
+        seed=config.seed,
+        timeline_scale=config.timeline.scale,
+        times=times,
+        game_bps=rng.uniform(5e6, 20e6, times.size),
+        iperf_bps=rng.uniform(0, 10e6, times.size),
+        baseline_bps=18e6,
+        fairness_game_bps=12e6,
+        fairness_iperf_bps=9e6,
+        solo_bps=18e6,
+        rtt_samples=rng.uniform(0.02, 0.1, (40, 2)),
+        game_loss_rate=0.01,
+        displayed_fps_contention=55.0,
+        displayed_fps_solo=60.0,
+        frames_displayed=500,
+        frames_dropped=4,
+        target_log=rng.uniform(5e6, 20e6, (20, 2)),
+        qdisc=config.qdisc,
+        wall_time_s=1.25,
+        profile={"events": 123},
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+class TestPutGet:
+    def test_roundtrip_preserves_everything(self, store):
+        config = make_config()
+        result = make_result(config)
+        fp = store.put(config, result)
+        loaded = store.get(config)
+        assert loaded is not None
+        for name in ("times", "game_bps", "iperf_bps", "rtt_samples",
+                     "target_log"):
+            assert np.allclose(getattr(loaded, name), getattr(result, name))
+        assert loaded.system == result.system
+        assert loaded.seed == result.seed
+        assert loaded.qdisc == result.qdisc
+        assert loaded.wall_time_s == result.wall_time_s
+        assert loaded.profile == result.profile
+        assert store.contains_fp(fp)
+        assert config in store
+
+    def test_miss_returns_none(self, store):
+        assert store.get(make_config()) is None
+        assert make_config() not in store
+
+    def test_distinct_configs_distinct_objects(self, store):
+        a, b = make_config(seed=1), make_config(seed=2)
+        store.put(a, make_result(a))
+        store.put(b, make_result(b))
+        assert len(store) == 2
+        assert store.get(a).seed == 1
+        assert store.get(b).seed == 2
+
+    def test_put_twice_overwrites_and_dedupes(self, store):
+        config = make_config()
+        store.put(config, make_result(config))
+        store.put(config, make_result(config))
+        assert len(store.ls()) == 1
+
+    def test_no_temp_litter_after_put(self, store):
+        config = make_config()
+        store.put(config, make_result(config))
+        assert list(store.root.rglob("*.tmp*")) == []
+
+    def test_qdisc_distinguishes_entries(self, store):
+        droptail = make_config()
+        codel = make_config(qdisc="codel")
+        store.put(droptail, make_result(droptail))
+        assert store.get(codel) is None
+
+
+class TestManifest:
+    def test_ls_reports_identity_and_label(self, store):
+        config = make_config(seed=5)
+        store.put(config, make_result(config))
+        (entry,) = store.ls()
+        assert entry["label"] == config.label
+        assert entry["system"] == "stadia"
+        assert entry["seed"] == 5
+        assert len(entry["fp"]) == 64
+
+    def test_torn_final_line_is_skipped(self, store):
+        config = make_config()
+        store.put(config, make_result(config))
+        with open(store.manifest_path, "a") as fh:
+            fh.write('{"fp": "dead')  # crash mid-append
+        assert len(store.ls()) == 1
+
+
+class TestVerifyGc:
+    def test_clean_store_verifies(self, store):
+        for seed in (1, 2, 3):
+            config = make_config(seed=seed)
+            store.put(config, make_result(config))
+        assert store.verify() == []
+
+    def test_missing_file_reported(self, store):
+        config = make_config()
+        fp = store.put(config, make_result(config))
+        (store._object_dir(fp) / "arrays.npz").unlink()
+        problems = store.verify()
+        assert any("missing arrays.npz" in p for p in problems)
+        assert store.get(config) is None  # degraded entries read as misses
+
+    def test_corrupted_npz_reported(self, store):
+        config = make_config()
+        fp = store.put(config, make_result(config))
+        (store._object_dir(fp) / "arrays.npz").write_bytes(b"not an npz")
+        problems = store.verify()
+        assert any("unreadable" in p for p in problems)
+
+    def test_tampered_metadata_reported(self, store):
+        config = make_config()
+        fp = store.put(config, make_result(config))
+        meta_path = store._object_dir(fp) / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["seed"] = 999  # no longer matches the addressed key
+        meta_path.write_text(json.dumps(meta))
+        problems = store.verify()
+        assert any("fingerprints to" in p for p in problems)
+
+    def test_orphan_object_reported_and_collected(self, store):
+        config = make_config()
+        store.put(config, make_result(config))
+        store.manifest_path.write_text("")  # lose the index
+        problems = store.verify()
+        assert any("not in manifest" in p for p in problems)
+        stats = store.gc()
+        assert stats["objects_removed"] == 1
+        assert store.get(config) is None
+
+    def test_gc_drops_stale_entries_and_tmp(self, store):
+        keep = make_config(seed=1)
+        lose = make_config(seed=2)
+        store.put(keep, make_result(keep))
+        fp = store.put(lose, make_result(lose))
+        obj = store._object_dir(fp)
+        for child in obj.iterdir():
+            child.unlink()
+        obj.rmdir()
+        (store.root / "objects" / "stray.tmp").write_text("x")
+        stats = store.gc()
+        assert stats["entries_dropped"] == 1
+        assert stats["entries_kept"] == 1
+        assert stats["tmp_removed"] == 1
+        assert store.verify() == []
+        assert store.get(keep) is not None
+
+
+class TestVersioning:
+    def test_reopen_same_version_ok(self, tmp_path):
+        root = tmp_path / "store"
+        config = make_config()
+        RunStore(root).put(config, make_result(config))
+        assert RunStore(root).get(config) is not None
+
+    def test_other_format_version_refused(self, tmp_path):
+        root = tmp_path / "store"
+        RunStore(root)
+        (root / "store.json").write_text(
+            json.dumps({"format": STORE_FORMAT_VERSION + 1})
+        )
+        with pytest.raises(StoreVersionError):
+            RunStore(root)
+
+
+class TestCheckpoints:
+    def test_roundtrip(self, store):
+        state = {"id": "abc", "total": 3, "completed": ["x"], "failed": {}}
+        store.save_checkpoint("abc", state)
+        assert store.load_checkpoint("abc") == state
+
+    def test_missing_and_torn_read_as_none(self, store):
+        assert store.load_checkpoint("nope") is None
+        store.checkpoint_path("torn").write_text('{"id": "to')
+        assert store.load_checkpoint("torn") is None
+
+    def test_checkpoint_updates_are_atomic(self, store):
+        store.save_checkpoint("c", {"total": 1})
+        store.save_checkpoint("c", {"total": 2})
+        assert store.load_checkpoint("c") == {"total": 2}
+        assert list(store.campaigns.glob("*.tmp*")) == []

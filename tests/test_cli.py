@@ -92,6 +92,94 @@ def test_list_rejects_unknown_category():
         main(["list", "quantum"])
 
 
+def test_campaign_rerun_served_from_cache(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    argv = ["campaign", "--systems", "luna", "--ccas", "cubic",
+            "--capacities", "25", "--queues", "2", "--iterations", "2",
+            "--profile", "smoke", "--store", store, "--json"]
+
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["executed"] == 2
+    assert first["cache_hits"] == 0
+    assert first["failures"] == []
+
+    assert main(argv) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["executed"] == 0
+    assert second["cache_hits"] == 2
+    assert second["campaign_id"] == first["campaign_id"]
+    assert second["conditions"] == first["conditions"]
+
+
+def test_campaign_human_output(tmp_path, capsys):
+    rc = main(["campaign", "--systems", "stadia", "--ccas", "solo",
+               "--capacities", "25", "--queues", "2", "--iterations", "1",
+               "--profile", "smoke", "--store", str(tmp_path / "s")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "campaign" in out
+    assert "1 runs | 0 from cache | 1 executed" in out
+    assert "stadia vs solo" in out
+
+
+def test_campaign_resume_requires_store(capsys):
+    rc = main(["campaign", "--resume", "--profile", "smoke"])
+    assert rc == 2
+    assert "--resume requires --store" in capsys.readouterr().err
+
+
+def test_store_subcommands(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    main(["campaign", "--systems", "luna", "--ccas", "solo",
+          "--capacities", "25", "--queues", "2", "--iterations", "1",
+          "--profile", "smoke", "--store", store, "--json"])
+    capsys.readouterr()
+
+    assert main(["store", "ls", store]) == 0
+    out = capsys.readouterr().out
+    assert "luna-solo-25M-2x-s0" in out
+    assert "1 stored run(s)" in out
+
+    assert main(["store", "ls", store, "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert len(entries) == 1 and entries[0]["system"] == "luna"
+
+    assert main(["store", "verify", store]) == 0
+    assert "ok (1 entries)" in capsys.readouterr().out
+
+    assert main(["store", "gc", store]) == 0
+    assert "kept 1 entries" in capsys.readouterr().out
+
+
+def test_store_verify_reports_corruption(tmp_path, capsys):
+    from repro.store import RunStore
+
+    store_dir = str(tmp_path / "store")
+    main(["campaign", "--systems", "luna", "--ccas", "solo",
+          "--capacities", "25", "--queues", "2", "--iterations", "1",
+          "--profile", "smoke", "--store", store_dir, "--json"])
+    capsys.readouterr()
+
+    store = RunStore(store_dir)
+    fp = store.ls()[0]["fp"]
+    (store._object_dir(fp) / "arrays.npz").unlink()
+    assert main(["store", "verify", store_dir]) == 1
+    assert "missing arrays.npz" in capsys.readouterr().out
+
+
+def test_run_with_store_caches(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    argv = ["run", "--system", "luna", "--capacity", "25", "--queue", "2",
+            "--profile", "smoke", "--store", store, "--json"]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(argv) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["game_bps"] == first["game_bps"]
+    assert second["wall_time_s"] == first["wall_time_s"]  # cached, not re-run
+
+
 def test_run_trace_metrics_profile_round_trip(tmp_path, capsys):
     """run --trace/--metrics/--profile-sim, then inspect the capture."""
     trace_path = tmp_path / "trace.jsonl"
