@@ -1,0 +1,50 @@
+"""Benchmark & regression subsystem.
+
+The ROADMAP's north star is a system that runs "as fast as the hardware
+allows"; this package is how that claim is measured and guarded instead
+of asserted.  Like flent's named-test harness, every workload worth
+tracking is a *registered scenario* with a stable name, so numbers taken
+months apart refer to the same experiment:
+
+- :mod:`repro.bench.scenarios` -- the registry: engine microbench,
+  cancel-churn (timer tombstones), solo stream, the paper's 25 Mb/s
+  Cubic/BBR contention cells, multiflow stress, and a store-backed
+  campaign slice.
+- :mod:`repro.bench.runner` -- executes a scenario N times and records
+  wall time, events/second, peak RSS and the engine's
+  ``events_processed`` plus scenario counters.
+- :mod:`repro.bench.report` -- writes/reads ``BENCH_<scenario>.json``;
+  the copies at the repo root are the committed perf trajectory.
+- :mod:`repro.bench.compare` -- compares a fresh run against a baseline
+  directory with a configurable tolerance; regressions fail the build.
+
+CLI: ``repro-gsnet bench run|compare|list`` (see docs/PERFORMANCE.md).
+"""
+
+from repro.bench.compare import ComparisonReport, Delta, compare_results
+from repro.bench.report import (
+    BenchFormatError,
+    bench_filename,
+    load_result,
+    load_results_dir,
+    write_result,
+)
+from repro.bench.runner import BenchResult, run_scenario
+from repro.bench.scenarios import SCENARIOS, Scenario, get_scenario, scenario_names
+
+__all__ = [
+    "BenchFormatError",
+    "BenchResult",
+    "ComparisonReport",
+    "Delta",
+    "SCENARIOS",
+    "Scenario",
+    "bench_filename",
+    "compare_results",
+    "get_scenario",
+    "load_result",
+    "load_results_dir",
+    "run_scenario",
+    "scenario_names",
+    "write_result",
+]

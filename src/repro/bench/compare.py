@@ -1,0 +1,154 @@
+"""Regression gate: current BENCH results vs a committed baseline.
+
+The comparator prefers events/second (workload-normalised, robust to a
+scenario growing more events) and falls back to best wall time for
+scenarios without a spanning simulator.  ``tolerance`` is a relative
+band: with ``tolerance=0.35`` a scenario regresses only when its
+events/second falls more than 35% below the baseline (or its wall time
+rises more than 35% above).  The band is deliberately wide -- it guards
+against real regressions (an accidental O(n) in the dispatch loop, a
+tombstone leak), not against scheduler jitter, and baselines are often
+recorded on different hardware than the machine re-checking them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComparisonReport", "Delta", "compare_results", "DEFAULT_TOLERANCE"]
+
+#: Default relative regression band.
+DEFAULT_TOLERANCE = 0.35
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One scenario's baseline-vs-current verdict.
+
+    ``change`` is signed relative change of the compared metric,
+    oriented so that negative is always *worse* (throughput down, or
+    wall time up); None for new/skipped scenarios.
+    """
+
+    scenario: str
+    status: str  # "ok" | "improved" | "regressed" | "new" | "skipped"
+    metric: str | None = None  # "events_per_sec" | "best_wall_s"
+    baseline: float | None = None
+    current: float | None = None
+    change: float | None = None
+
+    def render(self) -> str:
+        if self.status == "new":
+            return f"{self.scenario:<22} NEW        (no baseline entry)"
+        if self.status == "skipped":
+            return f"{self.scenario:<22} SKIPPED    (not in current run)"
+        arrow = f"{self.baseline:,.1f} -> {self.current:,.1f} {self.metric}"
+        return (
+            f"{self.scenario:<22} {self.status.upper():<10} "
+            f"{self.change:+.1%}  ({arrow})"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """All deltas plus the pass/fail verdict."""
+
+    deltas: list[Delta]
+    tolerance: float
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.status == "regressed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "deltas": [
+                {
+                    "scenario": d.scenario,
+                    "status": d.status,
+                    "metric": d.metric,
+                    "baseline": d.baseline,
+                    "current": d.current,
+                    "change": d.change,
+                }
+                for d in self.deltas
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [d.render() for d in self.deltas]
+        verdict = (
+            "ok: no regressions"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} regression(s)"
+        )
+        lines.append(f"{verdict} (tolerance {self.tolerance:.0%})")
+        return "\n".join(lines)
+
+
+def _metric(entry: dict) -> tuple[str, float] | None:
+    """Pick the comparable metric of one BENCH entry."""
+    eps = entry.get("events_per_sec")
+    if isinstance(eps, (int, float)) and eps > 0:
+        return "events_per_sec", float(eps)
+    wall = entry.get("best_wall_s")
+    if isinstance(wall, (int, float)) and wall > 0:
+        return "best_wall_s", float(wall)
+    return None
+
+
+def compare_results(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> ComparisonReport:
+    """Compare per-scenario BENCH dicts (as loaded by ``load_results_dir``).
+
+    - A scenario present only in ``current`` is reported as ``new``
+      (never a failure: growing the registry must not break the gate).
+    - A scenario present only in ``baseline`` is ``skipped`` (a smoke
+      job may re-measure a subset of the committed trajectory).
+    - Metric mismatches (one side has events/second, the other only
+      wall time) fall back to wall time when both sides have it.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    deltas: list[Delta] = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            deltas.append(Delta(name, "new"))
+            continue
+        if name not in current:
+            deltas.append(Delta(name, "skipped"))
+            continue
+        base_metric = _metric(baseline[name])
+        cur_metric = _metric(current[name])
+        if base_metric is None or cur_metric is None:
+            deltas.append(Delta(name, "skipped"))
+            continue
+        if base_metric[0] != cur_metric[0]:
+            # One side lost its events counter: compare wall time.
+            base_metric = ("best_wall_s", float(baseline[name]["best_wall_s"]))
+            cur_metric = ("best_wall_s", float(current[name]["best_wall_s"]))
+        metric, base_value = base_metric
+        _, cur_value = cur_metric
+        if metric == "events_per_sec":
+            change = cur_value / base_value - 1.0  # negative = slower
+        else:
+            change = base_value / cur_value - 1.0  # wall up = negative
+        if change < -tolerance:
+            status = "regressed"
+        elif change > tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+        deltas.append(
+            Delta(name, status, metric, base_value, cur_value, change)
+        )
+    return ComparisonReport(deltas, tolerance)

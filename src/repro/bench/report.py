@@ -1,0 +1,91 @@
+"""BENCH_<scenario>.json: the on-disk perf trajectory.
+
+One file per scenario, written atomically (temp file + rename, the run
+store's idiom) so a crashed benchmark never leaves a torn baseline.
+The copies committed at the repository root are the baseline the
+comparator guards against; ``repro-gsnet bench run`` refreshes them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.runner import BENCH_FORMAT, BenchResult
+
+__all__ = [
+    "BenchFormatError",
+    "bench_filename",
+    "load_result",
+    "load_results_dir",
+    "write_result",
+]
+
+_PREFIX = "BENCH_"
+#: Keys a BENCH file must carry to be comparable.
+_REQUIRED = ("format", "scenario", "best_wall_s")
+
+
+class BenchFormatError(ValueError):
+    """A BENCH_*.json file is missing, malformed, or from the future."""
+
+
+def bench_filename(scenario: str) -> str:
+    return f"{_PREFIX}{scenario}.json"
+
+
+def write_result(result: BenchResult, out_dir: str | Path) -> Path:
+    """Persist one result as ``<out_dir>/BENCH_<scenario>.json``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / bench_filename(result.scenario)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_result(path: str | Path) -> dict:
+    """Read and validate one BENCH file.
+
+    Raises :class:`BenchFormatError` for unreadable files, invalid JSON,
+    non-object payloads, missing required keys, or a format version
+    newer than this code understands.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text()
+    except OSError as exc:
+        raise BenchFormatError(f"cannot read {path}: {exc}") from exc
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise BenchFormatError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise BenchFormatError(f"{path}: expected a JSON object, got {type(data).__name__}")
+    missing = [key for key in _REQUIRED if key not in data]
+    if missing:
+        raise BenchFormatError(f"{path}: missing required key(s) {', '.join(missing)}")
+    if data["format"] > BENCH_FORMAT:
+        raise BenchFormatError(
+            f"{path}: format {data['format']} is newer than supported {BENCH_FORMAT}"
+        )
+    return data
+
+
+def load_results_dir(directory: str | Path) -> dict[str, dict]:
+    """All BENCH files in a directory, keyed by scenario name.
+
+    Raises :class:`BenchFormatError` if the directory does not exist or
+    any BENCH file in it is malformed; an empty directory yields ``{}``
+    (the caller decides whether that is an error).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise BenchFormatError(f"not a directory: {directory}")
+    results: dict[str, dict] = {}
+    for path in sorted(directory.glob(f"{_PREFIX}*.json")):
+        data = load_result(path)
+        results[data["scenario"]] = data
+    return results

@@ -1,0 +1,142 @@
+"""Benchmark execution: repeat a scenario, record the numbers.
+
+The runner executes a scenario ``repeats`` times and keeps every wall
+time; the headline figure uses the *best* repeat (the least-perturbed
+observation of the same deterministic workload -- the convention
+pytest-benchmark's ``min`` and timeit both follow), while the full list
+is preserved in the JSON so noise is visible in the trajectory.
+
+Peak RSS comes from ``getrusage(RUSAGE_SELF).ru_maxrss``; it is the
+process high-water mark, so within one ``bench run --all`` invocation
+later scenarios inherit the peak of earlier ones.  It is recorded to
+catch order-of-magnitude memory regressions, not byte-level ones.
+"""
+
+from __future__ import annotations
+
+import platform
+import resource
+import sys
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.bench.scenarios import Scenario, get_scenario
+
+__all__ = ["BenchResult", "run_scenario"]
+
+#: Schema version of BENCH_*.json files.
+BENCH_FORMAT = 1
+
+
+@dataclass
+class BenchResult:
+    """Everything one benchmark invocation measured."""
+
+    scenario: str
+    description: str
+    repeats: int
+    scale: float
+    wall_s: list[float]
+    events: int | None
+    peak_rss_kb: int
+    counters: dict = field(default_factory=dict)
+    env: dict = field(default_factory=dict)
+
+    @property
+    def best_wall_s(self) -> float:
+        return min(self.wall_s)
+
+    @property
+    def mean_wall_s(self) -> float:
+        return sum(self.wall_s) / len(self.wall_s)
+
+    @property
+    def events_per_sec(self) -> float | None:
+        """Engine throughput over the best repeat (None for scenarios
+        without a single spanning simulator, e.g. campaign-slice)."""
+        if self.events is None or self.best_wall_s <= 0:
+            return None
+        return self.events / self.best_wall_s
+
+    def to_dict(self) -> dict:
+        return {
+            "format": BENCH_FORMAT,
+            "scenario": self.scenario,
+            "description": self.description,
+            "repeats": self.repeats,
+            "scale": self.scale,
+            "wall_s": [round(w, 6) for w in self.wall_s],
+            "best_wall_s": round(self.best_wall_s, 6),
+            "mean_wall_s": round(self.mean_wall_s, 6),
+            "events": self.events,
+            "events_per_sec": (
+                round(self.events_per_sec, 1)
+                if self.events_per_sec is not None
+                else None
+            ),
+            "peak_rss_kb": self.peak_rss_kb,
+            "counters": self.counters,
+            "env": self.env,
+        }
+
+    def render(self) -> str:
+        eps = self.events_per_sec
+        headline = (
+            f"{eps:,.0f} events/s" if eps is not None
+            else f"{self.best_wall_s:.3f} s"
+        )
+        return (
+            f"{self.scenario:<22} {headline:>20}  "
+            f"best {self.best_wall_s:8.3f} s  mean {self.mean_wall_s:8.3f} s  "
+            f"rss {self.peak_rss_kb / 1024:6.1f} MB"
+        )
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def _peak_rss_kb() -> int:
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return peak
+
+
+def run_scenario(
+    scenario: str | Scenario, repeats: int = 3, scale: float = 1.0
+) -> BenchResult:
+    """Execute a scenario ``repeats`` times and collect a result.
+
+    The counters (including ``events``) come from the last repeat; the
+    workload is deterministic, so every repeat produces the same
+    counters and only the wall times differ.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    walls: list[float] = []
+    counters: dict = {}
+    for _ in range(repeats):
+        start = perf_counter()
+        counters = scenario.run(scale)
+        walls.append(perf_counter() - start)
+    events = counters.pop("events", None)
+    return BenchResult(
+        scenario=scenario.name,
+        description=scenario.description,
+        repeats=repeats,
+        scale=scale,
+        wall_s=walls,
+        events=events,
+        peak_rss_kb=_peak_rss_kb(),
+        counters=counters,
+        env=_environment(),
+    )

@@ -1,0 +1,228 @@
+"""Named benchmark scenarios.
+
+A scenario is a callable workload with a stable registered name, so a
+number recorded today and a number recorded after the next ten PRs
+describe the same experiment (flent's named-test idea applied to our
+simulator).  Each scenario function takes a ``scale`` factor -- 1.0 is
+the canonical workload, smaller values shrink it proportionally for
+tests -- runs the workload once, and returns a counters dict.  The
+``events`` counter, when present, is the engine's ``events_processed``
+and is what the runner turns into the headline events/second figure.
+
+Scenario inventory:
+
+====================  ==================================================
+``engine-microbench``  raw dispatch loop: self-rescheduling callbacks
+``engine-cancel-churn`` RTO-style timer churn: schedule far-future,
+                       cancel, re-arm (exercises tombstone compaction)
+``solo-stream``        one game stream, no competitor (paper baseline)
+``cubic-contention``   stadia vs TCP Cubic on the paper's 25 Mb/s
+                       bottleneck, 2x BDP queue
+``bbr-contention``     stadia vs TCP BBR, same bottleneck
+``multiflow-stress``   stadia vs three competing flows (cubic+bbr+cubic)
+``campaign-slice``     a four-run campaign through a fresh RunStore
+                       (scheduler + fingerprint + persistence overhead)
+====================  ==================================================
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.experiments import Campaign, RunConfig, Timeline
+from repro.sim.engine import Simulator
+from repro.store import RunStore
+from repro.testbed.tc import RouterConfig
+from repro.testbed.topology import GameStreamingTestbed
+
+__all__ = ["SCENARIOS", "Scenario", "get_scenario", "register", "scenario_names"]
+
+#: Canonical event budget of the engine microbench at scale 1.0.
+ENGINE_EVENTS = 200_000
+#: Canonical schedule/cancel cycles of the churn scenario at scale 1.0.
+CHURN_CYCLES = 150_000
+#: Timeline scale of the testbed scenarios at scale 1.0 (the SMOKE
+#: one-ninth schedule: ~62 s of simulated time, a few hundred thousand
+#: events -- long enough for contention to settle, short enough for CI).
+_TESTBED_TIMELINE_SCALE = 1.0 / 9.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered workload."""
+
+    name: str
+    description: str
+    fn: Callable[[float], dict] = field(repr=False)
+
+    def run(self, scale: float = 1.0) -> dict:
+        """Execute the workload once; returns its counters."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return self.fn(scale)
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register(name: str, description: str):
+    """Decorator adding a scenario function to the registry."""
+
+    def deco(fn: Callable[[float], dict]) -> Callable[[float], dict]:
+        if name in SCENARIOS:
+            raise ValueError(f"duplicate scenario name {name!r}")
+        SCENARIOS[name] = Scenario(name, description, fn)
+        return fn
+
+    return deco
+
+
+def scenario_names() -> list[str]:
+    """Registered names, in registration (= documentation) order."""
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; options: {', '.join(SCENARIOS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Engine scenarios
+# ----------------------------------------------------------------------
+def _spin(sim: Simulator, budget: list) -> None:
+    if budget[0] > 0:
+        budget[0] -= 1
+        sim.schedule(1e-6, _spin, sim, budget)
+
+
+@register("engine-microbench", "raw event-loop dispatch (self-rescheduling)")
+def _engine_microbench(scale: float) -> dict:
+    n = max(int(ENGINE_EVENTS * scale), 1)
+    sim = Simulator()
+    budget = [n]
+    sim.schedule(0.0, _spin, sim, budget)
+    sim.run()
+    return {"events": sim.events_processed}
+
+
+class _TimerChurn:
+    """The RTO re-arm pattern: every tick cancels a far-future timer and
+    schedules a fresh one, leaving a tombstone behind each time."""
+
+    def __init__(self, sim: Simulator, cycles: int):
+        self.sim = sim
+        self.left = cycles
+        self.timer = None
+
+    def tick(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+        self.timer = self.sim.schedule(5.0, _noop)
+        if self.left > 0:
+            self.left -= 1
+            self.sim.schedule(1e-5, self.tick)
+
+
+def _noop() -> None:
+    pass
+
+
+@register("engine-cancel-churn", "timer cancel/re-arm churn (tombstone load)")
+def _engine_cancel_churn(scale: float) -> dict:
+    n = max(int(CHURN_CYCLES * scale), 1)
+    sim = Simulator()
+    churn = _TimerChurn(sim, n)
+    sim.schedule(0.0, churn.tick)
+    sim.run(until=4.0)
+    return {
+        "events": sim.events_processed,
+        "heap_entries_left": sim.pending,
+        "live_pending": sim.live_pending,
+        "compactions": sim.compactions,
+    }
+
+
+# ----------------------------------------------------------------------
+# Testbed scenarios
+# ----------------------------------------------------------------------
+def _run_testbed(scale: float, cca, system: str = "stadia") -> dict:
+    timeline = Timeline(scale=_TESTBED_TIMELINE_SCALE * scale)
+    testbed = GameStreamingTestbed(
+        system,
+        RouterConfig(rate_bps=25e6, queue_mult=2.0),
+        seed=0,
+        competing_cca=cca,
+    )
+    testbed.start_game()
+    if cca is not None:
+        testbed.schedule_iperf(timeline.iperf_start, timeline.iperf_stop)
+    testbed.run(until=timeline.end)
+    snapshot = testbed.stats.snapshot()
+    counters = {
+        "events": testbed.sim.events_processed,
+        "compactions": testbed.sim.compactions,
+        "packets_received": sum(s["packets_received"] for s in snapshot.values()),
+        "packets_dropped": sum(s["packets_dropped"] for s in snapshot.values()),
+    }
+    if testbed.iperfs:
+        pool = testbed.iperfs[0].pool.stats()
+        counters["pool_reused"] = pool["reused"]
+        counters["pool_allocated"] = pool["allocated"]
+    return counters
+
+
+@register("solo-stream", "one game stream, no competitor, 25 Mb/s bottleneck")
+def _solo_stream(scale: float) -> dict:
+    return _run_testbed(scale, cca=None)
+
+
+@register("cubic-contention", "stadia vs TCP Cubic, 25 Mb/s, 2x BDP (paper cell)")
+def _cubic_contention(scale: float) -> dict:
+    return _run_testbed(scale, cca="cubic")
+
+
+@register("bbr-contention", "stadia vs TCP BBR, 25 Mb/s, 2x BDP (paper cell)")
+def _bbr_contention(scale: float) -> dict:
+    return _run_testbed(scale, cca="bbr")
+
+
+@register("multiflow-stress", "stadia vs cubic+bbr+cubic on one bottleneck")
+def _multiflow_stress(scale: float) -> dict:
+    return _run_testbed(scale, cca=["cubic", "bbr", "cubic"])
+
+
+# ----------------------------------------------------------------------
+# Campaign scenario
+# ----------------------------------------------------------------------
+@register("campaign-slice", "four-run campaign through a fresh run store")
+def _campaign_slice(scale: float) -> dict:
+    timeline = Timeline(scale=_TESTBED_TIMELINE_SCALE * scale)
+    configs = [
+        RunConfig(
+            system="luna",
+            capacity_bps=25e6,
+            queue_mult=queue,
+            cca="cubic",
+            seed=seed,
+            timeline=timeline,
+        )
+        for queue in (0.5, 2.0)
+        for seed in (0, 1)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        campaign = Campaign(store=RunStore(tmp)).run(configs)
+        report = campaign.report
+        return {
+            # No single Simulator spans the campaign; wall time is the
+            # comparable figure here, so no "events" counter.
+            "runs": len(configs),
+            "executed": report.executed,
+            "cache_hits": report.cache_hits,
+        }

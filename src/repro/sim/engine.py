@@ -18,6 +18,11 @@ from typing import Any, Callable
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
+# Bound once: the scheduling and dispatch paths run for every event, and
+# a module-level name saves the heapq attribute lookup on each of them.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
@@ -29,21 +34,37 @@ class Event:
     Events are returned by :meth:`Simulator.schedule` so callers can
     :meth:`cancel` them (used for retransmission timers, pacing timers,
     and the like).  A cancelled event stays in the heap but is skipped
-    when popped; this is O(1) and avoids heap surgery.
+    when popped; this is O(1) and avoids heap surgery.  The engine
+    counts tombstones and compacts the heap when they dominate, so a
+    run that cancels millions of timers (every ACK re-arms the RTO)
+    does not drag a heap of dead entries through every push and pop.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator | None" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
@@ -61,6 +82,10 @@ class Simulator:
         sim.run(until=10.0)
     """
 
+    #: Compaction floor: below this many tombstones the rebuild is not
+    #: worth its O(n) cost, whatever fraction of the heap they are.
+    COMPACT_MIN_CANCELLED = 256
+
     def __init__(self) -> None:
         self.now: float = 0.0
         # Heap entries are (time, seq, Event) tuples so ordering is
@@ -69,6 +94,8 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        self._cancelled: int = 0
+        self._compactions: int = 0
         self._profiler = None
 
     # ------------------------------------------------------------------
@@ -83,7 +110,14 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
-        return self.schedule_at(self.now + delay, fn, *args)
+        # Inlined push (not a schedule_at call): this is the hottest
+        # entry point -- every packet and timer comes through here -- and
+        # the extra frame costs more than the four lines save.
+        time = self.now + delay
+        seq = self._seq = self._seq + 1
+        event = Event(time, seq, fn, args, self)
+        _heappush(self._heap, (time, seq, event))
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
@@ -91,10 +125,39 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.6f} (now is {self.now:.6f})"
             )
-        self._seq += 1
-        event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, (time, self._seq, event))
+        seq = self._seq = self._seq + 1
+        event = Event(time, seq, fn, args, self)
+        _heappush(self._heap, (time, seq, event))
         return event
+
+    # ------------------------------------------------------------------
+    # Tombstone accounting
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` for events still in the heap.
+
+        When tombstones outnumber live events (and exceed a fixed
+        floor), the heap is rebuilt without them: timer-heavy senders
+        cancel and re-arm the RTO on every ACK, and without compaction
+        those dead entries inflate every subsequent push and pop.
+        """
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        # In place, so the dispatch loop's local alias stays valid even
+        # when a callback's cancel() triggers compaction mid-run.  Heap
+        # order is a pure (time, seq) comparison, so filtering plus
+        # heapify reproduces the exact same dispatch order.
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -109,7 +172,10 @@ class Simulator:
         ``events_processed`` stays consistent between them.
         """
         heap = self._heap
-        heappop = heapq.heappop
+        heappop = _heappop
+        # Profilers attach/detach only between dispatch calls, so the
+        # lookup is hoisted out of the loop.
+        profiler = self._profiler
         dispatched = 0
         while heap:
             time = heap[0][0]
@@ -117,16 +183,22 @@ class Simulator:
                 break
             _, _, event = heappop(heap)
             if event.cancelled:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
+            # A fired event must not count as a tombstone if someone
+            # cancels it afterwards (cancel is documented as idempotent).
+            event._sim = None
             self.now = time
             self._events_processed += 1
-            profiler = self._profiler
             if profiler is None:
                 event.fn(*event.args)
             else:
                 start = perf_counter()
                 event.fn(*event.args)
-                profiler.on_event(event, perf_counter() - start, len(heap))
+                profiler.on_event(
+                    event, perf_counter() - start, len(heap) - self._cancelled
+                )
             dispatched += 1
             if dispatched == max_events:
                 break
@@ -170,8 +242,28 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (possibly cancelled) events still queued."""
+        """Heap entries still queued, cancelled tombstones included.
+
+        This is the raw container size; use :attr:`live_pending` for the
+        number of events that will actually fire.
+        """
         return len(self._heap)
+
+    @property
+    def live_pending(self) -> int:
+        """Number of queued events that will actually fire.
+
+        Excludes cancelled tombstones awaiting their pop (or the next
+        compaction), so it is the truthful backlog figure -- the one the
+        profiler reports as heap depth.
+        """
+        live = len(self._heap) - self._cancelled
+        return live if live > 0 else 0
+
+    @property
+    def compactions(self) -> int:
+        """Times the heap was rebuilt to shed cancelled tombstones."""
+        return self._compactions
 
     @property
     def events_processed(self) -> int:
@@ -179,4 +271,4 @@ class Simulator:
         return self._events_processed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self.now:.6f} pending={self.pending}>"
+        return f"<Simulator t={self.now:.6f} pending={self.live_pending}>"

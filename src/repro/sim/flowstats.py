@@ -15,7 +15,13 @@ __all__ = ["FlowStats", "StatsRegistry"]
 
 @dataclass
 class FlowStats:
-    """Counters for one flow."""
+    """Counters for one flow.
+
+    The ``on_*`` methods are per-flow hooks: a component that serves
+    exactly one flow (a TCP sender, the streaming server) takes the
+    bound method directly -- via :meth:`StatsRegistry.send_hook` -- and
+    skips the per-packet flow-id lookup of the registry-level hooks.
+    """
 
     flow: str
     packets_sent: int = 0
@@ -24,6 +30,18 @@ class FlowStats:
     bytes_received: int = 0
     packets_dropped: int = 0
     bytes_dropped: int = 0
+
+    def on_send(self, pkt) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += pkt.size
+
+    def on_receive(self, pkt) -> None:
+        self.packets_received += 1
+        self.bytes_received += pkt.size
+
+    def on_drop(self, pkt) -> None:
+        self.packets_dropped += 1
+        self.bytes_dropped += pkt.size
 
     @property
     def loss_rate(self) -> float:
@@ -46,17 +64,36 @@ class StatsRegistry:
             self.flows[flow] = stats
         return stats
 
+    def send_hook(self, flow: str):
+        """Bound per-flow send counter for single-flow components."""
+        return self.for_flow(flow).on_send
+
+    # Registry-level hooks for taps that see every flow (the client
+    # arrival tap, the shared bottleneck queue's drop callback).
     def on_send(self, pkt) -> None:
-        stats = self.for_flow(pkt.flow)
-        stats.packets_sent += 1
-        stats.bytes_sent += pkt.size
+        self.for_flow(pkt.flow).on_send(pkt)
 
     def on_receive(self, pkt) -> None:
-        stats = self.for_flow(pkt.flow)
-        stats.packets_received += 1
-        stats.bytes_received += pkt.size
+        self.for_flow(pkt.flow).on_receive(pkt)
 
     def on_drop(self, pkt) -> None:
-        stats = self.for_flow(pkt.flow)
-        stats.packets_dropped += 1
-        stats.bytes_dropped += pkt.size
+        self.for_flow(pkt.flow).on_drop(pkt)
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """One batched read of every flow's counters.
+
+        Benchmarks and reports want all counters at a consistent point;
+        this gathers them in a single pass instead of per-metric
+        attribute walks.
+        """
+        return {
+            flow: {
+                "packets_sent": s.packets_sent,
+                "bytes_sent": s.bytes_sent,
+                "packets_received": s.packets_received,
+                "bytes_received": s.bytes_received,
+                "packets_dropped": s.packets_dropped,
+                "bytes_dropped": s.bytes_dropped,
+            }
+            for flow, s in sorted(self.flows.items())
+        }

@@ -53,22 +53,29 @@ class Link:
         self.busy = False
         self.bytes_sent = 0
         self.packets_sent = 0
+        # The dispatch path runs twice per packet (enqueue kick + tx
+        # completion); queue, sink and scheduler are fixed at wiring
+        # time, so their bound methods are cached once here instead of
+        # being re-resolved through two attribute hops per call.
+        self._schedule = sim.schedule
+        self._enqueue = self.queue.enqueue
+        self._pop = self.queue.pop
+        self._sink_receive = sink.receive
 
     # ------------------------------------------------------------------
     def receive(self, pkt: Packet) -> None:
         """Entry point: enqueue a packet and start transmitting if idle."""
-        if self.queue.enqueue(pkt):
+        if self._enqueue(pkt):
             self._kick()
 
     def _kick(self) -> None:
         if self.busy:
             return
-        pkt = self.queue.pop()
+        pkt = self._pop()
         if pkt is None:
             return
         self.busy = True
-        tx_time = pkt.size * 8.0 / self.rate_bps
-        self.sim.schedule(tx_time, self._tx_done, pkt)
+        self._schedule(pkt.size * 8.0 / self.rate_bps, self._tx_done, pkt)
 
     def _tx_done(self, pkt: Packet) -> None:
         self.bytes_sent += pkt.size
@@ -79,9 +86,9 @@ class Link:
                 flow=pkt.flow, size=pkt.size, sent=self.bytes_sent,
             )
         if self.delay > 0:
-            self.sim.schedule(self.delay, self.sink.receive, pkt)
+            self._schedule(self.delay, self._sink_receive, pkt)
         else:
-            self.sink.receive(pkt)
+            self._sink_receive(pkt)
         self.busy = False
         self._kick()
 

@@ -56,6 +56,10 @@ class NetemDelay:
         self.sink = sink
         self._last_release = 0.0
         self.packets_delayed = 0
+        # Every packet traverses a delay stage at least twice (per-flow
+        # downlink netem, uplink); cache the per-packet call targets.
+        self._schedule_at = sim.schedule_at
+        self._sink_receive = sink.receive
 
     def receive(self, pkt: Packet) -> None:
         delay = self.delay
@@ -68,7 +72,7 @@ class NetemDelay:
             release = self._last_release
         self._last_release = release
         self.packets_delayed += 1
-        self.sim.schedule_at(release, self.sink.receive, pkt)
+        self._schedule_at(release, self._sink_receive, pkt)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NetemDelay {self.delay * 1e3:.2f}ms jitter={self.jitter * 1e3:.2f}ms>"

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["Packet", "DATA", "ACK", "FEEDBACK", "PING", "PONG", "MEDIA"]
+__all__ = ["Packet", "PacketPool", "DATA", "ACK", "FEEDBACK", "PING", "PONG", "MEDIA"]
 
 # Packet kinds.  Plain module-level strings (interned) compare by identity.
 DATA = "data"  # TCP payload segment
@@ -62,3 +62,77 @@ class Packet:
             f"<Packet {self.flow}#{self.seq} {self.kind} {self.size}B "
             f"t={self.sent_at:.6f}>"
         )
+
+
+class PacketPool:
+    """Free list recycling :class:`Packet` objects.
+
+    A saturating TCP flow allocates one DATA packet per segment and one
+    ACK packet per delivery -- millions of short-lived objects per
+    paper-scale run.  A pool turns those into slot reassignments on a
+    recycled object.
+
+    Safety contract: only wiring that owns *both* ends of a packet's
+    lifecycle may release.  An :class:`~repro.testbed.iperf.IperfFlow`
+    qualifies: its sender is the terminal consumer of the receiver's
+    ACKs, and its receiver is the terminal consumer of delivered DATA
+    segments (capture taps and stats hooks copy fields, never retain the
+    object).  Packets that die elsewhere -- dropped at a queue, held by
+    a test sink -- are simply never released and fall back to the
+    garbage collector, which is always correct.
+    """
+
+    __slots__ = ("_free", "limit", "allocated", "reused", "released")
+
+    def __init__(self, limit: int = 512):
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self._free: list[Packet] = []
+        self.limit = limit
+        self.allocated = 0  # pool misses: fresh Packet constructions
+        self.reused = 0  # pool hits
+        self.released = 0  # returns accepted (beyond-limit returns are dropped)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(
+        self,
+        flow: str,
+        seq: int,
+        size: int,
+        kind: str = DATA,
+        sent_at: float = 0.0,
+        meta: Any = None,
+    ) -> Packet:
+        """A packet with the given fields, recycled when possible."""
+        free = self._free
+        if free:
+            pkt = free.pop()
+            pkt.flow = flow
+            pkt.seq = seq
+            pkt.size = size
+            pkt.kind = kind
+            pkt.sent_at = sent_at
+            pkt.meta = meta
+            pkt.enqueued_at = 0.0
+            self.reused += 1
+            return pkt
+        self.allocated += 1
+        return Packet(flow, seq, size, kind, sent_at, meta)
+
+    def release(self, pkt: Packet) -> None:
+        """Return a dead packet for reuse.  The caller must drop its ref."""
+        if len(self._free) < self.limit:
+            pkt.meta = None  # do not pin AckInfo / frame metadata alive
+            self._free.append(pkt)
+            self.released += 1
+
+    def stats(self) -> dict:
+        """Counters for benchmark reports."""
+        return {
+            "allocated": self.allocated,
+            "reused": self.reused,
+            "released": self.released,
+            "free": len(self._free),
+        }

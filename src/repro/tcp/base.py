@@ -26,7 +26,7 @@ from typing import Callable
 
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.engine import Event, Simulator
-from repro.sim.packet import DATA, Packet
+from repro.sim.packet import ACK, DATA, Packet, PacketPool
 from repro.tcp.receiver import AckInfo
 from repro.tcp.rtt import RttEstimator
 
@@ -37,6 +37,10 @@ SEGMENT_SIZE = 1500
 
 _DUP_THRESH = 3
 _INITIAL_CWND = 10.0  # RFC 6928
+
+#: Shared, read-only marker for retransmitted segments: the receiver
+#: only reads ``meta.get("retx")``, so one dict serves every retransmit.
+_RETX_META = {"retx": True}
 
 
 class RateSample:
@@ -127,6 +131,9 @@ class TcpSender:
             on every delivering ACK plus ``tcp.start`` / ``tcp.stop`` /
             ``tcp.loss`` / ``tcp.rto``, and the attached CCA emits its
             own events (e.g. ``bbr.state``) through ``sender.tracer``.
+        pool: optional packet free list shared with the flow's receiver;
+            DATA segments are drawn from it and consumed ACK packets are
+            recycled into it (the sender is their terminal consumer).
     """
 
     def __init__(
@@ -139,6 +146,7 @@ class TcpSender:
         on_send: Callable[[Packet], None] | None = None,
         min_rto: float = 0.2,
         tracer: Tracer | None = None,
+        pool: PacketPool | None = None,
     ):
         self.sim = sim
         self.flow = flow
@@ -147,6 +155,7 @@ class TcpSender:
         self.segment_size = segment_size
         self.on_send = on_send
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.pool = pool
         self.rtt = RttEstimator(min_rto=min_rto)
 
         # Window state (segments).
@@ -293,14 +302,17 @@ class TcpSender:
             seg.retx += 1
             seg.lost = False
             self.retransmits += 1
-        pkt = Packet(
-            self.flow,
-            seq,
-            self.segment_size,
-            kind=DATA,
-            sent_at=now,
-            meta={"retx": retx} if retx else None,
-        )
+        meta = _RETX_META if retx else None
+        if self.pool is not None:
+            pkt = self.pool.acquire(
+                self.flow, seq, self.segment_size, kind=DATA,
+                sent_at=now, meta=meta,
+            )
+        else:
+            pkt = Packet(
+                self.flow, seq, self.segment_size, kind=DATA,
+                sent_at=now, meta=meta,
+            )
         self.pipe += 1
         self.segments_sent += 1
         if self.on_send is not None:
@@ -399,6 +411,8 @@ class TcpSender:
         elif self._rto_event is None:
             self._arm_rto()
         self._pump()
+        if self.pool is not None and pkt.kind is ACK:
+            self.pool.release(pkt)
 
     # ------------------------------------------------------------------
     # Loss detection and recovery

@@ -14,7 +14,7 @@ the segment's original transmit timestamp for RTT sampling.
 from __future__ import annotations
 
 from repro.sim.engine import Simulator
-from repro.sim.packet import ACK, Packet
+from repro.sim.packet import ACK, Packet, PacketPool
 
 __all__ = ["AckInfo", "TcpReceiver", "ACK_SIZE"]
 
@@ -38,12 +38,19 @@ class AckInfo:
 
 
 class TcpReceiver:
-    """Receives data segments; sends ACKs back through ``ack_path``."""
+    """Receives data segments; sends ACKs back through ``ack_path``.
 
-    def __init__(self, sim: Simulator, flow: str, ack_path):
+    When given a :class:`~repro.sim.packet.PacketPool` (shared with the
+    flow's sender), ACK packets are drawn from the pool and consumed
+    DATA segments are recycled into it -- the receiver is the terminal
+    consumer of delivered segments, so release here is safe.
+    """
+
+    def __init__(self, sim: Simulator, flow: str, ack_path, pool: PacketPool | None = None):
         self.sim = sim
         self.flow = flow
         self.ack_path = ack_path
+        self.pool = pool
         self.rcv_next = 0  # cumulative: all segments < rcv_next received
         self._out_of_order: set[int] = set()
         self.segments_received = 0
@@ -67,6 +74,11 @@ class TcpReceiver:
         else:
             self._out_of_order.add(seq)
         self._send_ack(pkt)
+        if self.pool is not None:
+            # After the ACK is built: its fields were read from this
+            # segment, and the freshly acquired ACK packet must not
+            # alias the segment being recycled.
+            self.pool.release(pkt)
 
     def _send_ack(self, data_pkt: Packet) -> None:
         is_retx = bool(data_pkt.meta and data_pkt.meta.get("retx"))
@@ -76,8 +88,15 @@ class TcpReceiver:
             ts_echo=data_pkt.sent_at,
             is_retransmit_echo=is_retx,
         )
-        ack_pkt = Packet(
-            self.flow, self.acks_sent, ACK_SIZE, kind=ACK, sent_at=self.sim.now, meta=info
-        )
+        if self.pool is not None:
+            ack_pkt = self.pool.acquire(
+                self.flow, self.acks_sent, ACK_SIZE, kind=ACK,
+                sent_at=self.sim.now, meta=info,
+            )
+        else:
+            ack_pkt = Packet(
+                self.flow, self.acks_sent, ACK_SIZE, kind=ACK,
+                sent_at=self.sim.now, meta=info,
+            )
         self.acks_sent += 1
         self.ack_path.receive(ack_pkt)

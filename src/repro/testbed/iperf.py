@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.obs.trace import Tracer
 from repro.sim.engine import Simulator
+from repro.sim.packet import PacketPool
 from repro.tcp import TcpSender, make_cca
 from repro.tcp.receiver import TcpReceiver
 
@@ -21,6 +22,11 @@ class IperfFlow:
 
     Wire the flow's sender output into the downlink path and give the
     receiver's ACK stream the uplink path; then call :meth:`schedule`.
+
+    The pair shares a :class:`~repro.sim.packet.PacketPool`: the flow
+    owns both ends of every DATA and ACK packet's lifecycle, so segments
+    the receiver consumes come back as fresh ACKs and consumed ACKs come
+    back as fresh segments instead of garbage.
     """
 
     def __init__(
@@ -36,10 +42,11 @@ class IperfFlow:
         self.sim = sim
         self.flow = flow
         self.cca_name = cca
-        self.receiver = TcpReceiver(sim, flow, ack_path=uplink_path)
+        self.pool = PacketPool()
+        self.receiver = TcpReceiver(sim, flow, ack_path=uplink_path, pool=self.pool)
         self.sender = TcpSender(
             sim, flow, path=downlink_path, cca=make_cca(cca), on_send=on_send,
-            tracer=tracer,
+            tracer=tracer, pool=self.pool,
         )
 
     def schedule(self, start: float, stop: float) -> None:

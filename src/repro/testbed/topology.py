@@ -150,7 +150,7 @@ class GameStreamingTestbed:
             self.profile,
             path=self._down_netem[self.profile.name],
             rng=self.rng,
-            on_send=self.stats.on_send,
+            on_send=self.stats.send_hook(self.profile.name),
             tracer=self.tracer,
         )
         self.client = GameStreamClient(
@@ -176,7 +176,7 @@ class GameStreamingTestbed:
                 cca=cca,
                 downlink_path=self._down_netem[flow],
                 uplink_path=self._uplink,
-                on_send=self.stats.on_send,
+                on_send=self.stats.send_hook(flow),
                 tracer=self.tracer,
             )
             self.server_demux.route(flow, iperf.sender)

@@ -1,0 +1,133 @@
+"""End-to-end tests of the ``bench`` CLI subcommands."""
+
+import json
+
+from repro.bench import bench_filename, load_results_dir, write_result
+from repro.bench.runner import BenchResult
+from repro.cli import main
+
+
+def _bench_run(tmp_path, *extra):
+    return main(["bench", "run", "engine-microbench",
+                 "--repeats", "1", "--scale", "0.02",
+                 "--out", str(tmp_path), *extra])
+
+
+def test_bench_list(capsys):
+    assert main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "engine-microbench" in out
+    assert "cubic-contention" in out
+
+
+def test_bench_list_json(capsys):
+    assert main(["bench", "list", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["engine-cancel-churn"]
+
+
+def test_bench_run_writes_valid_bench_json(tmp_path, capsys):
+    assert _bench_run(tmp_path) == 0
+    out = capsys.readouterr().out
+    assert "events/s" in out
+    results = load_results_dir(tmp_path)
+    assert results["engine-microbench"]["events"] > 0
+
+
+def test_bench_run_json_output(tmp_path, capsys):
+    assert _bench_run(tmp_path, "--json") == 0
+    (entry,) = json.loads(capsys.readouterr().out)
+    assert entry["scenario"] == "engine-microbench"
+    assert entry["events_per_sec"] > 0
+
+
+def test_bench_run_requires_scenarios_or_all(capsys):
+    assert main(["bench", "run"]) == 2
+    assert "--all" in capsys.readouterr().err
+
+
+def test_bench_run_unknown_scenario(capsys):
+    assert main(["bench", "run", "warp-drive"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_bench_run_rejects_bad_repeats(capsys):
+    assert main(["bench", "run", "engine-microbench", "--repeats", "0"]) == 2
+
+
+def test_bench_compare_clean_pass(tmp_path, capsys):
+    assert _bench_run(tmp_path) == 0
+    capsys.readouterr()
+    rc = main(["bench", "compare", "--baseline", str(tmp_path),
+               "--current", str(tmp_path)])
+    assert rc == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_bench_compare_injected_regression_exits_nonzero(tmp_path, capsys):
+    assert _bench_run(tmp_path) == 0
+    # Forge a "current" directory whose throughput collapsed 10x.
+    current = tmp_path / "current"
+    path = tmp_path / bench_filename("engine-microbench")
+    data = json.loads(path.read_text())
+    data["events_per_sec"] /= 10.0
+    current.mkdir()
+    (current / path.name).write_text(json.dumps(data))
+    capsys.readouterr()
+    rc = main(["bench", "compare", "--baseline", str(tmp_path),
+               "--current", str(current), "--json"])
+    assert rc == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is False
+    assert report["deltas"][0]["status"] == "regressed"
+
+
+def test_bench_compare_missing_baseline_dir(tmp_path, capsys):
+    current = tmp_path / "current"
+    current.mkdir()
+    rc = main(["bench", "compare", "--baseline", str(tmp_path / "gone"),
+               "--current", str(current)])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_bench_compare_empty_baseline_dir(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert _bench_run(tmp_path) == 0
+    capsys.readouterr()
+    rc = main(["bench", "compare", "--baseline", str(empty),
+               "--current", str(tmp_path)])
+    assert rc == 2
+    assert "no BENCH_*.json baseline" in capsys.readouterr().err
+
+
+def test_bench_compare_malformed_bench_file(tmp_path, capsys):
+    (tmp_path / "BENCH_broken.json").write_text("{oops")
+    current = tmp_path / "current"
+    current.mkdir()
+    rc = main(["bench", "compare", "--baseline", str(tmp_path),
+               "--current", str(current)])
+    assert rc == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_bench_compare_negative_tolerance(tmp_path, capsys):
+    assert _bench_run(tmp_path) == 0
+    capsys.readouterr()
+    rc = main(["bench", "compare", "--baseline", str(tmp_path),
+               "--current", str(tmp_path), "--tolerance", "-1"])
+    assert rc == 2
+
+
+def test_bench_compare_skips_wall_only_scenarios(tmp_path, capsys):
+    result = BenchResult(
+        scenario="campaign-slice", description="d", repeats=1, scale=1.0,
+        wall_s=[1.0], events=None, peak_rss_kb=1,
+    )
+    write_result(result, tmp_path)
+    capsys.readouterr()
+    rc = main(["bench", "compare", "--baseline", str(tmp_path),
+               "--current", str(tmp_path)])
+    assert rc == 0
+    assert "best_wall_s" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Tests for the regression comparator, including the gate edge cases."""
+
+import pytest
+
+from repro.bench import compare_results
+from repro.bench.compare import DEFAULT_TOLERANCE
+
+
+def _entry(eps=None, wall=1.0):
+    entry = {"format": 1, "scenario": "s", "best_wall_s": wall}
+    entry["events_per_sec"] = eps
+    return entry
+
+
+def test_identical_results_are_ok():
+    results = {"a": _entry(eps=1000.0), "b": _entry(wall=2.0)}
+    report = compare_results(results, results)
+    assert report.ok
+    assert [d.status for d in report.deltas] == ["ok", "ok"]
+    assert "no regressions" in report.render()
+
+
+def test_new_scenario_never_fails_the_gate():
+    report = compare_results({}, {"fresh": _entry(eps=100.0)})
+    assert report.ok
+    (delta,) = report.deltas
+    assert delta.status == "new"
+    assert "NEW" in delta.render()
+
+
+def test_baseline_only_scenario_is_skipped():
+    report = compare_results({"old": _entry(eps=100.0)}, {})
+    assert report.ok
+    assert report.deltas[0].status == "skipped"
+
+
+def test_regression_just_inside_tolerance_passes():
+    base = {"a": _entry(eps=1000.0)}
+    current = {"a": _entry(eps=1000.0 * (1 - DEFAULT_TOLERANCE + 0.01))}
+    report = compare_results(base, current)
+    assert report.ok
+    assert report.deltas[0].status == "ok"
+
+
+def test_regression_just_outside_tolerance_fails():
+    base = {"a": _entry(eps=1000.0)}
+    current = {"a": _entry(eps=1000.0 * (1 - DEFAULT_TOLERANCE - 0.01))}
+    report = compare_results(base, current)
+    assert not report.ok
+    (delta,) = report.regressions
+    assert delta.status == "regressed"
+    assert delta.change == pytest.approx(-DEFAULT_TOLERANCE - 0.01)
+    assert "FAIL: 1 regression" in report.render()
+
+
+def test_improvement_is_labelled():
+    report = compare_results({"a": _entry(eps=100.0)}, {"a": _entry(eps=500.0)})
+    assert report.ok
+    assert report.deltas[0].status == "improved"
+
+
+def test_wall_time_metric_orients_slower_as_negative():
+    # Wall time doubled: change must read as -50%, a regression at 35%.
+    report = compare_results({"a": _entry(wall=1.0)}, {"a": _entry(wall=2.0)})
+    delta = report.deltas[0]
+    assert delta.metric == "best_wall_s"
+    assert delta.change == pytest.approx(-0.5)
+    assert delta.status == "regressed"
+
+
+def test_metric_mismatch_falls_back_to_wall_time():
+    base = {"a": _entry(eps=1000.0, wall=1.0)}
+    current = {"a": _entry(eps=None, wall=1.05)}
+    report = compare_results(base, current)
+    delta = report.deltas[0]
+    assert delta.metric == "best_wall_s"
+    assert delta.status == "ok"
+
+
+def test_unmeasurable_entries_are_skipped():
+    base = {"a": {"format": 1, "scenario": "a", "best_wall_s": 0.0}}
+    current = {"a": _entry(wall=1.0)}
+    report = compare_results(base, current)
+    assert report.deltas[0].status == "skipped"
+    assert report.ok
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ValueError, match="tolerance"):
+        compare_results({}, {}, tolerance=-0.1)
+
+
+def test_to_dict_is_json_shaped():
+    report = compare_results({"a": _entry(eps=100.0)}, {"a": _entry(eps=10.0)})
+    data = report.to_dict()
+    assert data["ok"] is False
+    assert data["tolerance"] == DEFAULT_TOLERANCE
+    assert data["deltas"][0]["scenario"] == "a"
+    assert data["deltas"][0]["status"] == "regressed"

@@ -1,0 +1,135 @@
+"""Tests for the benchmark runner and the BENCH_*.json reader/writer."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchFormatError,
+    bench_filename,
+    load_result,
+    load_results_dir,
+    run_scenario,
+    write_result,
+)
+from repro.bench.runner import BENCH_FORMAT, BenchResult
+from repro.bench.scenarios import Scenario
+
+
+def _result(**overrides) -> BenchResult:
+    fields = dict(
+        scenario="s",
+        description="d",
+        repeats=3,
+        scale=1.0,
+        wall_s=[0.5, 0.4, 0.6],
+        events=1000,
+        peak_rss_kb=2048,
+    )
+    fields.update(overrides)
+    return BenchResult(**fields)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def test_run_scenario_collects_all_repeats():
+    calls = []
+    scenario = Scenario("probe", "d", lambda scale: calls.append(scale) or {"events": 10})
+    result = run_scenario(scenario, repeats=4, scale=0.5)
+    assert calls == [0.5] * 4
+    assert len(result.wall_s) == 4
+    assert result.events == 10
+    assert result.scenario == "probe"
+    assert result.env["implementation"]
+    assert result.peak_rss_kb > 0
+
+
+def test_run_scenario_resolves_names_and_validates_repeats():
+    with pytest.raises(ValueError, match="repeats"):
+        run_scenario("engine-microbench", repeats=0)
+    with pytest.raises(KeyError):
+        run_scenario("missing-scenario")
+
+
+def test_best_and_mean_and_events_per_sec():
+    result = _result()
+    assert result.best_wall_s == 0.4
+    assert result.mean_wall_s == pytest.approx(0.5)
+    assert result.events_per_sec == pytest.approx(2500.0)
+
+
+def test_events_per_sec_none_without_events():
+    assert _result(events=None).events_per_sec is None
+    data = _result(events=None).to_dict()
+    assert data["events_per_sec"] is None
+
+
+def test_extra_counters_survive_into_the_dict():
+    scenario = Scenario("probe", "d", lambda scale: {"events": 5, "drops": 2})
+    result = run_scenario(scenario, repeats=1)
+    assert result.counters == {"drops": 2}  # "events" is promoted out
+    assert result.to_dict()["counters"] == {"drops": 2}
+
+
+# ----------------------------------------------------------------------
+# Report files
+# ----------------------------------------------------------------------
+def test_write_then_load_round_trips(tmp_path):
+    path = write_result(_result(), tmp_path)
+    assert path.name == bench_filename("s") == "BENCH_s.json"
+    data = load_result(path)
+    assert data["format"] == BENCH_FORMAT
+    assert data["scenario"] == "s"
+    assert data["best_wall_s"] == 0.4
+    assert data["events_per_sec"] == 2500.0
+    # Atomic write leaves no temp file behind.
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_load_results_dir_keys_by_scenario(tmp_path):
+    write_result(_result(scenario="a"), tmp_path)
+    write_result(_result(scenario="b"), tmp_path)
+    (tmp_path / "unrelated.json").write_text("{}")
+    results = load_results_dir(tmp_path)
+    assert sorted(results) == ["a", "b"]
+
+
+def test_load_results_dir_missing_directory(tmp_path):
+    with pytest.raises(BenchFormatError, match="not a directory"):
+        load_results_dir(tmp_path / "nope")
+
+
+def test_load_result_missing_file(tmp_path):
+    with pytest.raises(BenchFormatError, match="cannot read"):
+        load_result(tmp_path / "BENCH_gone.json")
+
+
+def test_load_result_invalid_json(tmp_path):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(BenchFormatError, match="not valid JSON"):
+        load_result(bad)
+
+
+def test_load_result_non_object(tmp_path):
+    bad = tmp_path / "BENCH_list.json"
+    bad.write_text("[1, 2]")
+    with pytest.raises(BenchFormatError, match="JSON object"):
+        load_result(bad)
+
+
+def test_load_result_missing_required_keys(tmp_path):
+    bad = tmp_path / "BENCH_partial.json"
+    bad.write_text(json.dumps({"format": BENCH_FORMAT, "scenario": "x"}))
+    with pytest.raises(BenchFormatError, match="best_wall_s"):
+        load_result(bad)
+
+
+def test_load_result_from_the_future(tmp_path):
+    bad = tmp_path / "BENCH_future.json"
+    bad.write_text(json.dumps(
+        {"format": BENCH_FORMAT + 1, "scenario": "x", "best_wall_s": 1.0}
+    ))
+    with pytest.raises(BenchFormatError, match="newer"):
+        load_result(bad)

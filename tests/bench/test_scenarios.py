@@ -1,0 +1,83 @@
+"""Tests for the scenario registry and the workloads themselves.
+
+Simulation scenarios run at tiny scales here -- the point is that each
+workload executes and reports the counters the runner needs, not that
+the numbers are fast.
+"""
+
+import pytest
+
+from repro.bench.scenarios import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    register,
+    scenario_names,
+)
+
+
+def test_registry_holds_the_documented_inventory():
+    assert scenario_names() == [
+        "engine-microbench",
+        "engine-cancel-churn",
+        "solo-stream",
+        "cubic-contention",
+        "bbr-contention",
+        "multiflow-stress",
+        "campaign-slice",
+    ]
+    for name in scenario_names():
+        scenario = SCENARIOS[name]
+        assert scenario.name == name
+        assert scenario.description
+
+
+def test_get_scenario_unknown_name_lists_options():
+    with pytest.raises(KeyError, match="engine-microbench"):
+        get_scenario("nope")
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError, match="duplicate"):
+        register("engine-microbench", "again")(lambda scale: {})
+
+
+def test_scenario_rejects_non_positive_scale():
+    scenario = Scenario("s", "d", lambda scale: {})
+    with pytest.raises(ValueError, match="scale"):
+        scenario.run(0)
+    with pytest.raises(ValueError, match="scale"):
+        scenario.run(-1.0)
+
+
+def test_engine_microbench_counts_events():
+    counters = get_scenario("engine-microbench").run(scale=0.01)
+    assert counters["events"] == 2001  # budget of 2000 spins + the seed event
+
+
+def test_engine_cancel_churn_reports_compaction_state():
+    counters = get_scenario("engine-cancel-churn").run(scale=0.05)
+    assert counters["events"] > 0
+    assert counters["compactions"] >= 1
+    # Compaction keeps the leftover heap near the live set, orders of
+    # magnitude below the ~7500 tombstones the workload creates.
+    assert counters["heap_entries_left"] < 1000
+    assert counters["live_pending"] <= counters["heap_entries_left"]
+
+
+def test_contention_scenario_runs_and_reports_pool_traffic():
+    counters = get_scenario("cubic-contention").run(scale=0.05)
+    assert counters["events"] > 0
+    assert counters["packets_received"] > 0
+    assert counters["pool_reused"] > 0  # the free list is actually cycling
+
+
+def test_solo_stream_has_no_pool_counters():
+    counters = get_scenario("solo-stream").run(scale=0.05)
+    assert counters["events"] > 0
+    assert "pool_reused" not in counters  # no iperf flow, no pool
+
+
+def test_campaign_slice_reports_runs_not_events():
+    counters = get_scenario("campaign-slice").run(scale=0.05)
+    assert counters == {"runs": 4, "executed": 4, "cache_hits": 0}

@@ -142,3 +142,83 @@ def test_zero_delay_event_runs_after_current_instant_events():
     sim.schedule(1.0, fired.append, "second")
     sim.run()
     assert fired == ["first", "second", "zero"]
+
+
+# ----------------------------------------------------------------------
+# Tombstone accounting and heap compaction
+# ----------------------------------------------------------------------
+def test_live_pending_excludes_cancelled_tombstones():
+    sim = Simulator()
+    events = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+    for event in events[:4]:
+        event.cancel()
+    # The raw heap still holds the tombstones; live_pending does not.
+    assert sim.pending == 10
+    assert sim.live_pending == 6
+
+
+def test_compaction_triggers_under_cancel_churn():
+    sim = Simulator()
+    keeper = sim.schedule(10.0, lambda: None)
+    events = [sim.schedule(5.0, lambda: None) for _ in range(1000)]
+    for event in events:
+        event.cancel()
+    assert sim.compactions >= 1
+    # The heap shrank back to (roughly) the live set.
+    assert sim.pending < 1000
+    assert sim.live_pending == 1
+    keeper.cancel()
+
+
+def test_compaction_preserves_dispatch_order(monkeypatch):
+    def workload(sim):
+        fired = []
+        for i in range(600):
+            event = sim.schedule(1.0 + i * 1e-4, fired.append, i)
+            if i % 2:
+                event.cancel()
+        sim.schedule(2.0, fired.append, "late")
+        sim.run()
+        return fired, sim.events_processed
+
+    compacted = Simulator()
+    baseline = Simulator()
+    # Disable compaction on the control simulator only.
+    monkeypatch.setattr(baseline, "COMPACT_MIN_CANCELLED", 10**9)
+    assert compacted.COMPACT_MIN_CANCELLED < 10**9
+    assert workload(compacted) == workload(baseline)
+
+
+def test_compaction_inside_running_loop_keeps_future_events():
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(50.0, lambda: None) for _ in range(600)]
+
+    def mass_cancel():
+        for event in doomed:
+            event.cancel()
+
+    sim.schedule(1.0, mass_cancel)
+    sim.schedule(2.0, fired.append, "survivor")
+    sim.run()
+    assert fired == ["survivor"]
+    assert sim.compactions >= 1
+
+
+def test_cancel_after_fire_does_not_corrupt_accounting():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    event.cancel()  # already fired: must not count as a tombstone
+    assert sim.live_pending == 1
+    sim.run()
+    assert sim.live_pending == 0
+    assert sim.pending == 0
+
+
+def test_repr_reports_live_pending():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None).cancel()
+    sim.schedule(1.0, lambda: None)
+    assert "pending=1" in repr(sim)

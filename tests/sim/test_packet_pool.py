@@ -1,0 +1,49 @@
+"""Unit tests for the packet free-list pool."""
+
+from repro.sim.packet import ACK, DATA, Packet, PacketPool
+
+
+def test_acquire_constructs_when_empty():
+    pool = PacketPool()
+    pkt = pool.acquire("iperf", 7, 1500, sent_at=1.25)
+    assert isinstance(pkt, Packet)
+    assert (pkt.flow, pkt.seq, pkt.size, pkt.kind) == ("iperf", 7, 1500, DATA)
+    assert pkt.sent_at == 1.25
+    assert pool.stats() == {"allocated": 1, "reused": 0, "released": 0, "free": 0}
+
+
+def test_release_then_acquire_recycles_the_object():
+    pool = PacketPool()
+    pkt = pool.acquire("iperf", 1, 1500, meta={"retx": True})
+    pkt.enqueued_at = 3.0
+    pool.release(pkt)
+    assert len(pool) == 1
+    again = pool.acquire("iperf2", 2, 40, kind=ACK, sent_at=9.0)
+    assert again is pkt  # same object, fully reassigned
+    assert (again.flow, again.seq, again.size, again.kind) == ("iperf2", 2, 40, ACK)
+    assert again.sent_at == 9.0
+    assert again.meta is None  # cleared at release: no stale protocol state
+    assert again.enqueued_at == 0.0  # reset: AQM sojourn must not see old time
+    assert pool.stats()["reused"] == 1
+
+
+def test_release_beyond_limit_is_dropped_to_gc():
+    pool = PacketPool(limit=2)
+    packets = [Packet("f", i, 100) for i in range(4)]
+    for pkt in packets:
+        pool.release(pkt)
+    assert len(pool) == 2
+    assert pool.stats()["released"] == 2
+
+
+def test_pool_counters_track_mixed_traffic():
+    pool = PacketPool()
+    first = [pool.acquire("f", i, 100) for i in range(3)]
+    for pkt in first:
+        pool.release(pkt)
+    second = [pool.acquire("f", i, 100) for i in range(5)]
+    stats = pool.stats()
+    assert stats["allocated"] == 5  # 3 up front + 2 once the free list ran dry
+    assert stats["reused"] == 3
+    assert stats["released"] == 3
+    assert len(second) == 5
