@@ -48,6 +48,14 @@ def main() -> None:
                         help="run store directory (cache + resumability)")
     parser.add_argument("--retries", type=int, default=1,
                         help="extra attempts per failing run")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock budget in seconds; a run "
+                             "over budget is killed (or cooperatively "
+                             "aborted) and retried")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="deterministic fault-injection spec, e.g. "
+                             "'crash=0.1,exc=0.2,seed=7' -- soak-tests the "
+                             "scheduler, never use for real measurements")
     args = parser.parse_args()
     timeline = _PROFILES[args.profile]
 
@@ -58,12 +66,22 @@ def main() -> None:
     t0 = time.time()
     store = RunStore(args.store) if args.store else None
     campaign = Campaign(
-        workers=args.workers, store=store, retries=args.retries
+        workers=args.workers, store=store, retries=args.retries,
+        timeout=args.timeout, chaos=args.chaos,
     ).run(configs)
     report = campaign.report
+    extras = ""
+    if report.timeouts:
+        extras += f", {report.timeouts} timed out"
+    if report.pool_breaks:
+        extras += f", {report.pool_breaks} pool break(s)"
     print(f"campaign done in {time.time() - t0:.0f}s "
           f"({report.cache_hits} from cache, {report.executed} executed, "
-          f"{report.retries} retries)\n")
+          f"{report.retries} retries{extras})\n")
+    if report.interrupted:
+        print(f"interrupted: {len(report.abandoned)} run(s) abandoned; "
+              "re-run with the same --store to resume")
+        return
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)

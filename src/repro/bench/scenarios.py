@@ -22,6 +22,9 @@ Scenario inventory:
 ``multiflow-stress``   stadia vs three competing flows (cubic+bbr+cubic)
 ``campaign-slice``     a four-run campaign through a fresh RunStore
                        (scheduler + fingerprint + persistence overhead)
+``campaign-chaos``     the same four runs under deterministic fault
+                       injection (every first attempt raises; measures
+                       the retry/recovery machinery, not the simulator)
 ====================  ==================================================
 """
 
@@ -225,4 +228,39 @@ def _campaign_slice(scale: float) -> dict:
             "runs": len(configs),
             "executed": report.executed,
             "cache_hits": report.cache_hits,
+        }
+
+
+@register("campaign-chaos", "four-run campaign under deterministic fault injection")
+def _campaign_chaos(scale: float) -> dict:
+    timeline = Timeline(scale=_TESTBED_TIMELINE_SCALE * scale)
+    configs = [
+        RunConfig(
+            system="luna",
+            capacity_bps=25e6,
+            queue_mult=queue,
+            cca="cubic",
+            seed=seed,
+            timeline=timeline,
+        )
+        for queue in (0.5, 2.0)
+        for seed in (0, 1)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        # exc=1.0 + once=True: every run fails its first attempt and
+        # succeeds on retry, so the delta over campaign-slice is the
+        # cost of the failure/retry path itself.  backoff_base=0 keeps
+        # retry sleeps out of the measured wall time.
+        campaign = Campaign(
+            store=RunStore(tmp),
+            retries=1,
+            chaos="exc=1.0,seed=0",
+            backoff_base=0.0,
+        ).run(configs)
+        report = campaign.report
+        return {
+            "runs": len(configs),
+            "executed": report.executed,
+            "retries": report.retries,
+            "failures": len(report.failures),
         }

@@ -18,6 +18,12 @@ Examples::
         --capacities 25 --queues 0.5 2 --iterations 3 \
         --workers 4 --store runs/ --retries 2 --partial
 
+    # Soak-test the scheduler's fault tolerance: per-run timeouts plus
+    # deterministic injected crashes / hangs / transient faults
+    repro-gsnet campaign --systems luna --ccas cubic --capacities 25 \
+        --queues 2 --workers 2 --store runs/ --retries 3 \
+        --timeout 120 --chaos "crash=0.2,exc=0.3,seed=7"
+
     # Inspect / check / clean the store
     repro-gsnet store ls runs/
     repro-gsnet store verify runs/
@@ -70,7 +76,7 @@ from repro.obs import (
     render_trace_summary,
     summarize_trace,
 )
-from repro.store import RunStore, StoreVersionError
+from repro.store import ChaosSpec, RunStore, StoreVersionError
 from repro.streaming.systems import SYSTEMS
 from repro.tcp import CCA_REGISTRY
 from repro.testbed.topology import QUEUE_DISCIPLINES
@@ -175,6 +181,17 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--retries", type=int, default=1,
         help="extra attempts per failing run (capped exponential backoff)",
+    )
+    campaign_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget; a run exceeding it is killed "
+             "and retried like any other failure",
+    )
+    campaign_parser.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="deterministic fault injection for soak testing, e.g. "
+             "'crash=0.2,exc=0.3,seed=7' "
+             "(keys: crash/hang/exc rates, seed, hang_s, once)",
     )
     campaign_parser.add_argument(
         "--no-cache", action="store_true",
@@ -388,6 +405,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.resume and not args.store:
         print("error: --resume requires --store", file=sys.stderr)
         return 2
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosSpec.parse(args.chaos)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     timeline = _TIMELINES[args.profile]
     configs = [
         RunConfig(
@@ -421,9 +445,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         progress=progress,
         store=store,
         retries=args.retries,
+        timeout=args.timeout,
         partial=args.partial,
         use_cache=not args.no_cache,
         resume=args.resume,
+        chaos=chaos,
     ).run(configs)
     report = campaign.report
 
@@ -433,6 +459,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         "cache_hits": report.cache_hits,
         "executed": report.executed,
         "retries": report.retries,
+        "timeouts": report.timeouts,
+        "pool_breaks": report.pool_breaks,
+        "interrupted": report.interrupted,
+        "abandoned": len(report.abandoned),
         "failures": [
             {"label": f.config.label, "error": f.error, "attempts": f.attempts}
             for f in report.failures
@@ -451,9 +481,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(summary))
     else:
-        print(f"campaign {report.campaign_id}: {len(configs)} runs | "
-              f"{report.cache_hits} from cache | {report.executed} executed | "
-              f"{report.retries} retries | {len(report.failures)} failed")
+        line = (f"campaign {report.campaign_id}: {len(configs)} runs | "
+                f"{report.cache_hits} from cache | {report.executed} executed | "
+                f"{report.retries} retries | {len(report.failures)} failed")
+        if report.timeouts:
+            line += f" | {report.timeouts} timed out"
+        if report.pool_breaks:
+            line += f" | {report.pool_breaks} pool break(s)"
+        print(line)
         for failure in report.failures:
             print(f"  FAILED {failure.config.label} "
                   f"after {failure.attempts} attempt(s): {failure.error}")
@@ -466,6 +501,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             if condition.cca is not None:
                 line += f", fairness {condition.fairness():+.2f}"
             print(line)
+    if report.interrupted:
+        if not args.json:
+            msg = f"interrupted: {len(report.abandoned)} run(s) abandoned"
+            if args.store:
+                msg += "; re-run the same command to resume"
+            print(msg)
+        return 130
     return 1 if report.failures else 0
 
 

@@ -24,7 +24,7 @@ from repro.experiments.conditions import (
 from repro.experiments.config import RunConfig
 from repro.experiments.profiles import PAPER, QUICK, SMOKE, Timeline
 from repro.experiments.results import RunResult
-from repro.experiments.runner import run_single
+from repro.experiments.runner import RunTimeout, run_single
 
 __all__ = [
     "CAPACITIES",
@@ -36,6 +36,7 @@ __all__ = [
     "QUICK",
     "RunConfig",
     "RunResult",
+    "RunTimeout",
     "SMOKE",
     "SYSTEM_NAMES",
     "Timeline",

@@ -27,8 +27,10 @@ from repro.analysis.stats import mean_std
 from repro.experiments.config import RunConfig
 from repro.experiments.profiles import Timeline
 from repro.experiments.results import RunResult
+from repro.experiments.runner import run_single
 from repro.obs.profiler import campaign_profile
 from repro.obs.trace import NULL_TRACER
+from repro.store.chaos import ChaosRunner, ChaosSpec
 from repro.store.scheduler import CampaignScheduler
 
 __all__ = ["Campaign", "ConditionResult", "condition_key"]
@@ -148,6 +150,9 @@ class Campaign:
             campaign only executes what is missing.
         retries: extra attempts per failing run (capped exponential
             backoff between attempts).
+        timeout: per-run wall-clock budget in seconds; a run exceeding
+            it is killed (pool mode) or cooperatively aborted (serial
+            mode) and retried like any other failure.
         partial: record persistently failing configs in
             :attr:`failures` instead of aborting the campaign.
         use_cache: set False to force re-simulation even with a store
@@ -156,6 +161,16 @@ class Campaign:
             permanently failed instead of re-executing them.
         tracer: optional tracepoint bus for scheduler events
             (``store.hit``/``store.miss``/``sched.*``).
+        chaos: optional :class:`~repro.store.chaos.ChaosSpec` (or spec
+            string) wrapping execution in deterministic fault
+            injection -- for soak tests, never for real measurements.
+        backoff_base: first retry delay, seconds (doubles per attempt).
+        backoff_cap: upper bound on any single retry delay.
+
+    A ``KeyboardInterrupt`` during execution is absorbed by the
+    scheduler: :attr:`report` comes back partial with
+    ``interrupted=True`` and, with a store, a re-run picks up exactly
+    where the campaign stopped.
     """
 
     def __init__(
@@ -164,10 +179,14 @@ class Campaign:
         progress=None,
         store=None,
         retries: int = 0,
+        timeout: float | None = None,
         partial: bool = False,
         use_cache: bool = True,
         resume: bool = False,
         tracer=NULL_TRACER,
+        chaos: "ChaosSpec | str | None" = None,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -175,10 +194,14 @@ class Campaign:
         self.progress = progress
         self.store = store
         self.retries = retries
+        self.timeout = timeout
         self.partial = partial
         self.use_cache = use_cache
         self.resume = resume
         self.tracer = tracer
+        self.chaos = ChaosSpec.parse(chaos) if isinstance(chaos, str) else chaos
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self.conditions: dict[tuple, ConditionResult] = {}
         #: Per-run (label, wall seconds), in completion order.
         self.wall_times: list[tuple[str, float]] = []
@@ -201,15 +224,22 @@ class Campaign:
         :class:`~repro.store.scheduler.CampaignError` unless
         ``partial=True``, in which case it lands in :attr:`failures`.
         """
+        run_fn = run_single
+        if self.chaos is not None:
+            run_fn = ChaosRunner(run_single, self.chaos)
         scheduler = CampaignScheduler(
             workers=self.workers,
             store=self.store,
             retries=self.retries,
+            timeout=self.timeout,
             partial=self.partial,
             use_cache=self.use_cache,
             resume=self.resume,
             tracer=self.tracer,
             on_result=self._finish_run,
+            run_fn=run_fn,
+            backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap,
         )
         self.report = scheduler.run(configs)
         return self

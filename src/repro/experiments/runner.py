@@ -21,7 +21,16 @@ from repro.obs.trace import Tracer
 from repro.testbed.tc import RouterConfig
 from repro.testbed.topology import IPERF_FLOW, GameStreamingTestbed
 
-__all__ = ["run_single"]
+__all__ = ["run_single", "RunTimeout"]
+
+
+class RunTimeout(RuntimeError):
+    """A run exceeded its cooperative wall-clock or event budget.
+
+    Raised from inside the event loop by the deadline guard that
+    :func:`run_single` installs when ``timeout_s`` or ``max_events`` is
+    given.  The campaign scheduler treats it as a retryable failure.
+    """
 
 
 def run_single(
@@ -30,6 +39,8 @@ def run_single(
     metrics: MetricsRecorder | None = None,
     sim_profiler: SimProfiler | None = None,
     store=None,
+    timeout_s: float | None = None,
+    max_events: int | None = None,
 ) -> RunResult:
     """Execute one run and return its measurements.
 
@@ -46,6 +57,14 @@ def run_single(
             simulating (only when no tracer/metrics/profiler is
             requested -- those need the run to actually happen), and a
             fresh result is persisted before returning.
+        timeout_s: cooperative wall-clock budget for the whole run
+            (setup included); when exceeded, a guard event raises
+            :class:`RunTimeout` from inside the event loop.  The guard
+            is a no-op callback on the simulation clock, so it never
+            perturbs traffic dynamics or measurements.
+        max_events: like ``timeout_s`` but bounding the number of
+            dispatched simulation events (a runaway-run backstop that
+            is deterministic across hosts).
     """
     if store is not None:
         observed = tracer is not None or metrics is not None or sim_profiler is not None
@@ -75,6 +94,12 @@ def run_single(
         )
     if sim_profiler is not None:
         testbed.sim.attach_profiler(sim_profiler)
+    if timeout_s is not None or max_events is not None:
+        _install_deadline_guard(
+            testbed.sim, config, timeline,
+            None if timeout_s is None else wall_start + timeout_s,
+            max_events,
+        )
 
     try:
         testbed.start_game()
@@ -100,6 +125,34 @@ def run_single(
     if store is not None:
         store.put(config, result)
     return result
+
+
+def _install_deadline_guard(
+    sim, config: RunConfig, timeline, deadline: float | None,
+    max_events: int | None,
+) -> None:
+    """Schedule a recurring in-loop budget check.
+
+    The guard piggybacks on the simulation clock (a few hundred checks
+    per run) because the event loop is synchronous: nothing else gets a
+    chance to notice a blown budget while a run is executing.  The
+    callback touches no simulation state, so runs with and without a
+    guard produce identical measurements.
+    """
+    interval = max(timeline.end / 256.0, 1e-3)
+
+    def guard() -> None:
+        if deadline is not None and perf_counter() >= deadline:
+            raise RunTimeout(
+                f"run {config.label} exceeded its wall-clock budget"
+            )
+        if max_events is not None and sim.events_processed >= max_events:
+            raise RunTimeout(
+                f"run {config.label} exceeded its {max_events}-event budget"
+            )
+        sim.schedule(interval, guard)
+
+    sim.schedule(interval, guard)
 
 
 def _collect(config: RunConfig, testbed: GameStreamingTestbed) -> RunResult:

@@ -10,14 +10,19 @@ package makes those campaigns cheap to re-run and safe to interrupt:
   ``.npz`` arrays + JSON metadata per result, atomic writes, and a
   manifest index with ``ls``/``verify``/``gc``.
 - :mod:`repro.store.scheduler` -- cache-first, completion-order
-  dispatch with retries, capped exponential backoff, crash-safe
-  checkpoints, and a partial-results mode.
+  dispatch with retries, non-blocking capped exponential backoff,
+  per-run timeouts, worker-crash recovery, graceful interrupts,
+  crash-safe checkpoints, and a partial-results mode.
+- :mod:`repro.store.chaos` -- deterministic fault injection (hangs,
+  transient exceptions, worker-killing crashes) wrapped around the
+  scheduler's ``run_fn``, proving the recovery paths above in CI.
 
 :class:`~repro.experiments.campaign.Campaign` drives the scheduler; the
-``repro-gsnet campaign`` and ``repro-gsnet store`` CLI commands expose
-both to the shell.
+``repro-gsnet campaign`` (``--timeout``/``--chaos``) and ``repro-gsnet
+store`` CLI commands expose both to the shell.
 """
 
+from repro.store.chaos import ChaosFault, ChaosRunner, ChaosSpec
 from repro.store.fingerprint import (
     STORE_FORMAT_VERSION,
     canonical_json,
@@ -29,16 +34,23 @@ from repro.store.scheduler import (
     CampaignReport,
     CampaignScheduler,
     RunFailure,
+    RunTimeout,
+    WorkerCrash,
 )
 
 __all__ = [
     "CampaignError",
     "CampaignReport",
     "CampaignScheduler",
+    "ChaosFault",
+    "ChaosRunner",
+    "ChaosSpec",
     "RunFailure",
     "RunStore",
+    "RunTimeout",
     "STORE_FORMAT_VERSION",
     "StoreVersionError",
+    "WorkerCrash",
     "canonical_json",
     "config_fingerprint",
 ]

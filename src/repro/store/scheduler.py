@@ -8,10 +8,30 @@
   only misses are simulated.
 - **completion-order dispatch** -- with ``workers > 1`` runs are
   submitted to a process pool and collected as they finish
-  (no head-of-line blocking, unlike ``pool.map``).
+  (no head-of-line blocking, unlike ``pool.map``).  At most ``workers``
+  runs are outstanding at a time, so every submitted future is actually
+  executing and per-run deadlines measure real run time.
 - **retries with capped exponential backoff** -- a failing run is
-  retried up to ``retries`` times, sleeping
-  ``min(backoff_cap, backoff_base * 2**(attempt-1))`` between attempts.
+  retried up to ``retries`` times after
+  ``min(backoff_cap, backoff_base * 2**(attempt-1))`` seconds.  In pool
+  mode the backoff is a per-item *deadline*, not a sleep: other runs
+  keep dispatching and completing while one run waits out its delay.
+- **per-run timeouts** -- with ``timeout`` set, a run that exceeds its
+  wall-clock budget is killed (pool mode: the worker processes are
+  terminated and the pool respawned; serial mode: the cooperative
+  deadline guard inside :func:`~repro.experiments.runner.run_single`
+  raises :class:`~repro.experiments.runner.RunTimeout`) and treated as
+  a retryable failure.  Innocent runs killed alongside a timed-out one
+  are requeued without being charged an attempt.
+- **worker-crash recovery** -- a ``BrokenProcessPool`` (an OOM-killed
+  or segfaulted worker) does not sink the campaign: the pool is
+  rebuilt and everything that was in flight is requeued through the
+  normal retry accounting as a :class:`WorkerCrash` failure.
+- **graceful interrupt** -- a ``KeyboardInterrupt`` during execution
+  flushes the checkpoint, shuts the pool down without waiting, and
+  returns a partial :class:`CampaignReport` (``interrupted=True``,
+  abandoned fingerprints recorded) so a re-run resumes exactly where
+  the campaign stopped.
 - **crash-safe checkpointing** -- completed results are persisted to
   the store as they arrive and a per-campaign checkpoint (keyed by the
   hash of the sorted run fingerprints) records completions and
@@ -19,30 +39,64 @@
   its incomplete runs re-executed.
 - **partial-results mode** -- ``partial=True`` records persistently
   failing configs in the report instead of aborting the campaign.
+  Without it a persistent failure raises :class:`CampaignError`; the
+  pool is shut down *without* waiting for in-flight runs
+  (``shutdown(wait=False, cancel_futures=True)`` plus worker
+  termination) and their fingerprints are recorded on
+  ``CampaignError.abandoned``.
 
 Scheduler tracepoints (``store.hit``, ``store.miss``, ``sched.dispatch``,
-``sched.retry``, ``sched.done``, ``sched.fail``) are emitted on the
-wall-clock side of the system, so their ``t`` field is a monotone
-dispatch sequence number, not simulation time.
+``sched.retry``, ``sched.done``, ``sched.fail``, ``sched.timeout``,
+``sched.pool_broken``, ``sched.requeue``, ``sched.abandon``,
+``sched.interrupted``) are emitted on the wall-clock side of the
+system, so their ``t`` field is a monotone dispatch sequence number,
+not simulation time.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
+import inspect
+import itertools
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from repro.experiments.runner import run_single
+from repro.experiments.runner import RunTimeout, run_single
 from repro.obs.counters import CounterSet
 from repro.obs.trace import NULL_TRACER
 from repro.store.fingerprint import config_fingerprint
 
-__all__ = ["CampaignScheduler", "CampaignReport", "RunFailure", "CampaignError"]
+__all__ = [
+    "CampaignScheduler",
+    "CampaignReport",
+    "RunFailure",
+    "CampaignError",
+    "RunTimeout",
+    "WorkerCrash",
+]
 
 
 class CampaignError(RuntimeError):
-    """A run exhausted its retries and the campaign is not in partial mode."""
+    """A run exhausted its retries and the campaign is not in partial mode.
+
+    Attributes:
+        abandoned: fingerprints of runs that were still queued or in
+            flight when the campaign aborted (killed or never started;
+            they are *not* recorded as failures and a re-run against the
+            same store executes them again).
+    """
+
+    def __init__(self, message: str, abandoned: list[str] | None = None):
+        super().__init__(message)
+        self.abandoned: list[str] = list(abandoned or [])
+
+
+class WorkerCrash(RuntimeError):
+    """A pool worker died (``BrokenProcessPool``) while runs were in flight."""
 
 
 @dataclass
@@ -63,19 +117,32 @@ class CampaignReport:
     cache_hits: int = 0
     executed: int = 0
     retries: int = 0
+    timeouts: int = 0
+    pool_breaks: int = 0
+    interrupted: bool = False
+    abandoned: list[str] = field(default_factory=list)
     failures: list[RunFailure] = field(default_factory=list)
     campaign_id: str | None = None
 
     @property
     def total(self) -> int:
-        return self.cache_hits + self.executed + len(self.failures)
+        return (
+            self.cache_hits
+            + self.executed
+            + len(self.failures)
+            + len(self.abandoned)
+        )
 
     def counters(self) -> dict:
         return {
             "store.hits": self.cache_hits,
-            "store.misses": self.executed + len(self.failures),
+            "store.misses": self.executed
+            + len(self.failures)
+            + len(self.abandoned),
             "sched.executed": self.executed,
             "sched.retries": self.retries,
+            "sched.timeouts": self.timeouts,
+            "sched.pool_breaks": self.pool_breaks,
             "sched.failures": len(self.failures),
         }
 
@@ -88,11 +155,50 @@ def campaign_id(fingerprints: list[str]) -> str:
     return digest.hexdigest()[:16]
 
 
-@dataclass
+#: Optional per-dispatch keyword arguments threaded into ``run_fn`` when
+#: (and only when) its signature accepts them.
+_DISPATCH_KWARGS = ("timeout_s", "attempt")
+
+
+def _supported_kwargs(fn) -> frozenset:
+    """Which of :data:`_DISPATCH_KWARGS` ``fn`` can receive."""
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return frozenset()
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ):
+        return frozenset(_DISPATCH_KWARGS)
+    return frozenset(name for name in _DISPATCH_KWARGS if name in params)
+
+
+def _kill_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcibly terminate a pool's worker processes (best effort).
+
+    ``ProcessPoolExecutor`` has no public per-worker kill, and
+    ``shutdown(cancel_futures=True)`` cannot stop a run that already
+    started -- a hung simulation would otherwise block the campaign
+    until it finished on its own.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+
+
+@dataclass(eq=False)
 class _Pending:
     config: object
     fingerprint: str
     attempts: int = 0
+    #: wall-clock time at which an in-flight run is declared hung
+    deadline: float | None = None
+    #: next dispatch does not consume an attempt (the previous one was
+    #: killed through no fault of its own)
+    free_pass: bool = False
 
 
 class CampaignScheduler:
@@ -105,6 +211,12 @@ class CampaignScheduler:
         retries: extra attempts per run after the first failure.
         backoff_base: first retry delay, seconds (doubles per attempt).
         backoff_cap: upper bound on any single retry delay.
+        timeout: per-run wall-clock budget, seconds.  Pool mode kills
+            hung workers outright; serial mode relies on ``run_fn``
+            honouring a ``timeout_s`` keyword (as
+            :func:`~repro.experiments.runner.run_single` does with its
+            cooperative deadline guard).  Timed-out runs are retryable
+            failures.
         partial: record persistent failures instead of raising.
         use_cache: look configs up in the store before executing
             (disable to force re-simulation; results are still stored).
@@ -117,8 +229,11 @@ class CampaignScheduler:
             completion order for every finished run.
         tracer: optional tracepoint bus for scheduler events.
         run_fn: the per-config executor (tests substitute fakes; must be
-            picklable when ``workers > 1``).
+            picklable when ``workers > 1``).  If its signature accepts
+            ``timeout_s`` and/or ``attempt`` keywords they are supplied
+            per dispatch.
         sleep: injection point for backoff delays.
+        clock: injection point for the wall clock (monotonic seconds).
     """
 
     def __init__(
@@ -128,6 +243,7 @@ class CampaignScheduler:
         retries: int = 0,
         backoff_base: float = 0.5,
         backoff_cap: float = 30.0,
+        timeout: float | None = None,
         partial: bool = False,
         use_cache: bool = True,
         checkpoint: bool = True,
@@ -136,16 +252,22 @@ class CampaignScheduler:
         tracer=NULL_TRACER,
         run_fn=run_single,
         sleep=time.sleep,
+        clock=time.monotonic,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ValueError("backoff delays must be >= 0")
         self.workers = workers
         self.store = store
         self.retries = retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.timeout = timeout
         self.partial = partial
         self.use_cache = use_cache
         self.checkpoint = checkpoint and store is not None
@@ -154,12 +276,16 @@ class CampaignScheduler:
         self.tracer = tracer
         self.run_fn = run_fn
         self._sleep = sleep
+        self._clock = clock
+        self._run_kwargs = _supported_kwargs(run_fn)
         self.counters = CounterSet()
         self._seq = 0
+        self._abandoned: list[str] = []
 
     # ------------------------------------------------------------------
     def run(self, configs: list) -> CampaignReport:
         self.counters = CounterSet()
+        self._abandoned = []
         report = CampaignReport()
         fingerprints = [config_fingerprint(c) for c in configs]
         report.campaign_id = campaign_id(fingerprints)
@@ -186,7 +312,10 @@ class CampaignScheduler:
                 and fp in state["failed"]
             ):
                 # A resumed campaign reports recorded permanent failures
-                # instead of burning time re-failing them.
+                # instead of burning time re-failing them.  They still
+                # count toward progress: without this, done could never
+                # reach total and the CLI progress line would stall.
+                done += 1
                 info = state["failed"][fp]
                 report.failures.append(
                     RunFailure(
@@ -205,51 +334,76 @@ class CampaignScheduler:
 
         # Phase 2: execute the misses, completion order, with retries.
         if pending:
-            if self.workers == 1:
-                outcomes = self._run_serial(pending)
+            backend = self._run_serial if self.workers == 1 else self._run_pool
+            try:
+                for item, result, error in backend(pending):
+                    done += 1
+                    if result is not None:
+                        report.executed += 1
+                        self.counters.inc("sched.executed")
+                        if self.store is not None:
+                            self.store.put(item.config, result)
+                            self._emit("store.put", fp=item.fingerprint)
+                        self._checkpoint_mark(
+                            state, report.campaign_id, item.fingerprint,
+                            "completed",
+                        )
+                        if self.on_result is not None:
+                            self.on_result(result, done, total, False)
+                        report.results.append(result)
+                    else:
+                        failure = RunFailure(
+                            config=item.config,
+                            fingerprint=item.fingerprint,
+                            error=error,
+                            attempts=item.attempts,
+                        )
+                        report.failures.append(failure)
+                        self.counters.inc("sched.failures")
+                        self._emit(
+                            "sched.fail", fp=item.fingerprint,
+                            attempts=item.attempts, error=error,
+                        )
+                        self._checkpoint_mark(
+                            state, report.campaign_id, item.fingerprint,
+                            "failed", error=error, attempts=item.attempts,
+                        )
+            except KeyboardInterrupt:
+                report.interrupted = True
+                report.abandoned = list(self._abandoned)
+                self.counters.inc("sched.interrupted")
+                self._emit(
+                    "sched.interrupted",
+                    done=done, total=total, abandoned=len(report.abandoned),
+                )
+                self._checkpoint_flush(
+                    state, report.campaign_id,
+                    interrupted=True, abandoned=report.abandoned,
+                )
             else:
-                outcomes = self._run_pool(pending)
-            for item, result, error in outcomes:
-                done += 1
-                if result is not None:
-                    report.executed += 1
-                    self.counters.inc("sched.executed")
-                    if self.store is not None:
-                        self.store.put(item.config, result)
-                        self._emit("store.put", fp=item.fingerprint)
-                    self._checkpoint_mark(
-                        state, report.campaign_id, item.fingerprint, "completed"
-                    )
-                    if self.on_result is not None:
-                        self.on_result(result, done, total, False)
-                    report.results.append(result)
-                else:
-                    failure = RunFailure(
-                        config=item.config,
-                        fingerprint=item.fingerprint,
-                        error=error,
-                        attempts=item.attempts,
-                    )
-                    report.failures.append(failure)
-                    self.counters.inc("sched.failures")
-                    self._emit(
-                        "sched.fail", fp=item.fingerprint,
-                        attempts=item.attempts, error=error,
-                    )
-                    self._checkpoint_mark(
-                        state, report.campaign_id, item.fingerprint,
-                        "failed", error=error, attempts=item.attempts,
+                # A clean pass clears any stale interrupt marks left by
+                # an earlier aborted invocation of the same campaign.
+                if state is not None and (
+                    state.get("interrupted") or state.get("abandoned")
+                ):
+                    self._checkpoint_flush(
+                        state, report.campaign_id,
+                        interrupted=False, abandoned=[],
                     )
         report.retries = self.counters.get("sched.retries")
+        report.timeouts = self.counters.get("sched.timeouts")
+        report.pool_breaks = self.counters.get("sched.pool_breaks")
         return report
 
     # ------------------------------------------------------------------
     # Execution backends.  Both yield (item, result | None, error | None)
     # in completion order; a None result is a persistent failure (only
     # possible in partial mode -- otherwise they raise CampaignError).
+    # A KeyboardInterrupt records what was abandoned and propagates to
+    # run(), which turns it into a partial report.
     # ------------------------------------------------------------------
     def _run_serial(self, pending: list[_Pending]):
-        for item in pending:
+        for index, item in enumerate(pending):
             while True:
                 item.attempts += 1
                 self._emit(
@@ -257,54 +411,243 @@ class CampaignScheduler:
                     attempt=item.attempts, label=item.config.label,
                 )
                 try:
-                    result = self.run_fn(item.config)
+                    result = self.run_fn(
+                        item.config, **self._call_kwargs(item)
+                    )
+                except KeyboardInterrupt:
+                    self._abandon([p.fingerprint for p in pending[index:]])
+                    raise
                 except Exception as exc:
-                    outcome = self._handle_failure(item, exc)
-                    if outcome == "retry":
+                    if isinstance(exc, RunTimeout):
+                        self._note_timeout(item, exc)
+                    try:
+                        action, delay = self._failure_action(item, exc)
+                    except CampaignError as fail:
+                        fail.abandoned = self._abandon(
+                            [p.fingerprint for p in pending[index + 1:]]
+                        )
+                        raise
+                    if action == "retry":
+                        self._sleep(delay)
                         continue
                     yield item, None, _describe(exc)
                     break
-                self._emit("sched.done", fp=item.fingerprint)
-                yield item, result, None
-                break
+                else:
+                    self._emit("sched.done", fp=item.fingerprint)
+                    yield item, result, None
+                    break
 
     def _run_pool(self, pending: list[_Pending]):
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {}
-            for item in pending:
-                item.attempts += 1
-                self._emit(
-                    "sched.dispatch", fp=item.fingerprint,
-                    attempt=item.attempts, label=item.config.label,
+        ready: deque[_Pending] = deque(pending)
+        retry_heap: list = []  # (due, tiebreak, item)
+        retry_seq = itertools.count()
+        inflight: dict = {}  # Future -> _Pending
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+
+        def schedule_retry(item: _Pending, delay: float) -> None:
+            heapq.heappush(
+                retry_heap, (self._clock() + delay, next(retry_seq), item)
+            )
+
+        def live_fingerprints() -> list[str]:
+            return (
+                [it.fingerprint for it in inflight.values()]
+                + [it.fingerprint for it in ready]
+                + [entry[2].fingerprint for entry in retry_heap]
+            )
+
+        try:
+            while ready or retry_heap or inflight:
+                now = self._clock()
+                while retry_heap and retry_heap[0][0] <= now:
+                    ready.append(heapq.heappop(retry_heap)[2])
+
+                # Dispatch up to the pool width.  Capping outstanding
+                # futures at `workers` means every submitted run is
+                # actually executing, so its deadline measures real run
+                # time and a pool break touches at most `workers` runs.
+                while ready and len(inflight) < self.workers:
+                    item = ready.popleft()
+                    charged = not item.free_pass
+                    if charged:
+                        item.attempts += 1
+                    item.free_pass = False
+                    try:
+                        future = pool.submit(
+                            self.run_fn, item.config, **self._call_kwargs(item)
+                        )
+                    except BrokenProcessPool:
+                        # The pool died between collections (e.g. a
+                        # worker crashed while idle).  Undo the charge,
+                        # requeue, recover, and let the loop re-dispatch.
+                        if charged:
+                            item.attempts -= 1
+                        item.free_pass = not charged
+                        ready.appendleft(item)
+                        pool, finished, victims = self._recover_pool(
+                            pool, inflight, reason="crash"
+                        )
+                        for done_item, result, _ in finished:
+                            self._emit("sched.done", fp=done_item.fingerprint)
+                            yield done_item, result, None
+                        for victim in victims:
+                            outcome = self._settle_failure(
+                                victim,
+                                WorkerCrash(
+                                    "worker process died while the run "
+                                    "was in flight"
+                                ),
+                                schedule_retry,
+                            )
+                            if outcome is not None:
+                                yield outcome
+                        continue
+                    self._emit(
+                        "sched.dispatch", fp=item.fingerprint,
+                        attempt=item.attempts, label=item.config.label,
+                    )
+                    item.deadline = (
+                        None if self.timeout is None
+                        else self._clock() + self.timeout
+                    )
+                    inflight[future] = item
+
+                if not inflight:
+                    # Everything live is waiting out a retry backoff:
+                    # sleep to the nearest deadline, then force it due
+                    # (guarantees progress under injected fake clocks).
+                    due, _, item = heapq.heappop(retry_heap)
+                    self._sleep(max(0.0, due - self._clock()))
+                    ready.append(item)
+                    continue
+
+                budget = None
+                wakeups = [
+                    it.deadline for it in inflight.values()
+                    if it.deadline is not None
+                ]
+                if retry_heap:
+                    wakeups.append(retry_heap[0][0])
+                if wakeups:
+                    budget = max(0.0, min(wakeups) - self._clock())
+                completed, _ = wait(
+                    inflight, timeout=budget, return_when=FIRST_COMPLETED
                 )
-                futures[pool.submit(self.run_fn, item.config)] = item
-            while futures:
-                completed, _ = wait(futures, return_when=FIRST_COMPLETED)
+
+                broke = False
                 for future in completed:
-                    item = futures.pop(future)
+                    item = inflight.pop(future)
                     exc = future.exception()
                     if exc is None:
                         self._emit("sched.done", fp=item.fingerprint)
                         yield item, future.result(), None
                         continue
-                    try:
-                        outcome = self._handle_failure(item, exc)
-                    except CampaignError:
-                        for leftover in futures:
-                            leftover.cancel()
-                        raise
-                    if outcome == "retry":
-                        item.attempts += 1
-                        self._emit(
-                            "sched.dispatch", fp=item.fingerprint,
-                            attempt=item.attempts, label=item.config.label,
-                        )
-                        futures[pool.submit(self.run_fn, item.config)] = item
-                    else:
-                        yield item, None, _describe(exc)
+                    if isinstance(exc, BrokenProcessPool):
+                        # Handled wholesale below so the rebuild sees one
+                        # consistent in-flight set.
+                        inflight[future] = item
+                        broke = True
+                        continue
+                    if isinstance(exc, RunTimeout):
+                        self._note_timeout(item, exc)
+                    outcome = self._settle_failure(item, exc, schedule_retry)
+                    if outcome is not None:
+                        yield outcome
 
-    def _handle_failure(self, item: _Pending, exc: Exception) -> str:
-        """Decide retry / record / abort for one failed attempt."""
+                if broke:
+                    pool, finished, victims = self._recover_pool(
+                        pool, inflight, reason="crash"
+                    )
+                    for done_item, result, _ in finished:
+                        self._emit("sched.done", fp=done_item.fingerprint)
+                        yield done_item, result, None
+                    for victim in victims:
+                        outcome = self._settle_failure(
+                            victim,
+                            WorkerCrash(
+                                "worker process died while the run was "
+                                "in flight"
+                            ),
+                            schedule_retry,
+                        )
+                        if outcome is not None:
+                            yield outcome
+                    continue
+
+                if self.timeout is not None and inflight:
+                    now = self._clock()
+                    expired = {
+                        id(it)
+                        for f, it in inflight.items()
+                        if it.deadline is not None
+                        and it.deadline <= now
+                        and not f.done()
+                    }
+                    if expired:
+                        # One hung worker cannot be killed in isolation:
+                        # terminate them all, respawn, requeue the
+                        # innocent bystanders free of charge.
+                        pool, finished, casualties = self._recover_pool(
+                            pool, inflight, reason="timeout"
+                        )
+                        for done_item, result, _ in finished:
+                            self._emit("sched.done", fp=done_item.fingerprint)
+                            yield done_item, result, None
+                        for item in casualties:
+                            if id(item) in expired:
+                                exc = RunTimeout(
+                                    f"run {item.config.label} exceeded the "
+                                    f"{self.timeout:g}s wall-clock limit"
+                                )
+                                self._note_timeout(item, exc)
+                                outcome = self._settle_failure(
+                                    item, exc, schedule_retry
+                                )
+                                if outcome is not None:
+                                    yield outcome
+                            else:
+                                item.free_pass = True
+                                self._emit(
+                                    "sched.requeue", fp=item.fingerprint,
+                                    reason="timeout_kill",
+                                )
+                                ready.append(item)
+        except CampaignError as fail:
+            fail.abandoned = self._abandon(live_fingerprints())
+            _kill_workers(pool)
+            raise
+        except KeyboardInterrupt:
+            self._abandon(live_fingerprints())
+            _kill_workers(pool)
+            raise
+        finally:
+            # Never wait: on the success path the pool is already idle,
+            # and on every abort path waiting would block on runs we
+            # just decided to walk away from.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Failure / recovery plumbing
+    # ------------------------------------------------------------------
+    def _call_kwargs(self, item: _Pending) -> dict:
+        kwargs = {}
+        if self.timeout is not None and "timeout_s" in self._run_kwargs:
+            kwargs["timeout_s"] = self.timeout
+        if "attempt" in self._run_kwargs:
+            kwargs["attempt"] = item.attempts
+        return kwargs
+
+    def _failure_action(
+        self, item: _Pending, exc: Exception
+    ) -> tuple[str, float]:
+        """Decide what one failed attempt means: ``("retry", delay)`` or
+        ``("record", 0)``; raises :class:`CampaignError` when the retry
+        budget is spent and the campaign is not in partial mode.
+
+        Never sleeps -- the serial backend sleeps inline (there is
+        nothing else to do), the pool backend turns the delay into a
+        per-item deadline so other runs keep flowing during the backoff.
+        """
         if item.attempts <= self.retries:
             delay = min(
                 self.backoff_cap,
@@ -315,14 +658,62 @@ class CampaignScheduler:
                 "sched.retry", fp=item.fingerprint,
                 attempt=item.attempts, delay=delay, error=_describe(exc),
             )
-            self._sleep(delay)
-            return "retry"
+            return "retry", delay
         if self.partial:
-            return "record"
+            return "record", 0.0
         raise CampaignError(
             f"run {item.config.label} failed after {item.attempts} "
             f"attempt(s): {_describe(exc)}"
         ) from exc
+
+    def _settle_failure(self, item: _Pending, exc: Exception, schedule_retry):
+        """Route one failed attempt; returns an outcome tuple to yield,
+        or None when the item was rescheduled."""
+        action, delay = self._failure_action(item, exc)
+        if action == "retry":
+            schedule_retry(item, delay)
+            return None
+        return item, None, _describe(exc)
+
+    def _recover_pool(self, pool, inflight: dict, reason: str):
+        """Tear down a broken/hung pool and build a fresh one.
+
+        Classifies what was in flight: futures that finished cleanly
+        before the teardown become successes, everything else is a
+        casualty for the caller to requeue or charge.  Returns
+        ``(new_pool, finished, casualties)``.
+        """
+        if reason == "crash":
+            self.counters.inc("sched.pool_breaks")
+            self._emit("sched.pool_broken", inflight=len(inflight))
+        _kill_workers(pool)
+        pool.shutdown(wait=False, cancel_futures=True)
+        finished, casualties = [], []
+        for future, item in inflight.items():
+            if (
+                future.done()
+                and not future.cancelled()
+                and future.exception() is None
+            ):
+                finished.append((item, future.result(), None))
+            else:
+                item.deadline = None
+                casualties.append(item)
+        inflight.clear()
+        return ProcessPoolExecutor(max_workers=self.workers), finished, casualties
+
+    def _note_timeout(self, item: _Pending, exc: Exception) -> None:
+        self.counters.inc("sched.timeouts")
+        self._emit(
+            "sched.timeout", fp=item.fingerprint,
+            attempt=item.attempts, error=_describe(exc),
+        )
+
+    def _abandon(self, fingerprints: list[str]) -> list[str]:
+        self._abandoned = list(fingerprints)
+        if fingerprints:
+            self._emit("sched.abandon", count=len(fingerprints))
+        return self._abandoned
 
     # ------------------------------------------------------------------
     # Store / checkpoint / trace plumbing
@@ -340,6 +731,8 @@ class CampaignScheduler:
             state = {"id": cid, "total": total, "completed": [], "failed": {}}
         state["completed"] = list(state.get("completed", []))
         state["failed"] = dict(state.get("failed", {}))
+        state["abandoned"] = list(state.get("abandoned", []))
+        state["interrupted"] = bool(state.get("interrupted", False))
         return state
 
     def _checkpoint_mark(
@@ -353,6 +746,16 @@ class CampaignScheduler:
                 state["completed"].append(fp)
         else:
             state["failed"][fp] = info
+        self.store.save_checkpoint(cid, state)
+
+    def _checkpoint_flush(
+        self, state, cid: str, interrupted: bool, abandoned: list[str]
+    ) -> None:
+        """Persist interrupt bookkeeping so ``--resume`` sees it."""
+        if state is None:
+            return
+        state["interrupted"] = interrupted
+        state["abandoned"] = list(abandoned)
         self.store.save_checkpoint(cid, state)
 
     def _emit(self, ev: str, **fields) -> None:

@@ -25,6 +25,7 @@ def test_registry_holds_the_documented_inventory():
         "bbr-contention",
         "multiflow-stress",
         "campaign-slice",
+        "campaign-chaos",
     ]
     for name in scenario_names():
         scenario = SCENARIOS[name]

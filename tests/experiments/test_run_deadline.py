@@ -1,0 +1,46 @@
+"""Tests for the cooperative per-run deadline guard in ``run_single``.
+
+The guard is a no-op simulation callback: it must never change what a
+run measures, only bound how long (wall clock) or how far (event count)
+the simulation is allowed to go.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import RunConfig, RunTimeout, SMOKE, run_single
+
+
+def _config(seed=7):
+    return RunConfig("stadia", 25e6, 2.0, cca="cubic", seed=seed, timeline=SMOKE)
+
+
+class TestWallClockBudget:
+    def test_tiny_budget_raises_run_timeout_quickly(self):
+        import time
+
+        start = time.perf_counter()
+        with pytest.raises(RunTimeout, match="wall-clock"):
+            run_single(_config(), timeout_s=1e-9)
+        # The guard fires at its first check, not at end of run.
+        assert time.perf_counter() - start < 10.0
+
+    def test_generous_budget_does_not_interfere(self):
+        guarded = run_single(_config(), timeout_s=600.0)
+        free = run_single(_config())
+        assert np.allclose(guarded.times, free.times)
+        assert np.allclose(guarded.game_bps, free.game_bps)
+        assert np.allclose(guarded.iperf_bps, free.iperf_bps)
+        assert np.allclose(guarded.rtt_samples, free.rtt_samples)
+
+
+class TestEventBudget:
+    def test_small_event_budget_raises_run_timeout(self):
+        with pytest.raises(RunTimeout, match="event budget"):
+            run_single(_config(), max_events=100)
+
+    def test_generous_event_budget_does_not_interfere(self):
+        guarded = run_single(_config(), max_events=100_000_000)
+        free = run_single(_config())
+        assert np.allclose(guarded.times, free.times)
+        assert np.allclose(guarded.game_bps, free.game_bps)

@@ -1,0 +1,204 @@
+"""Tests for the deterministic chaos layer.
+
+The core acceptance property: a chaos campaign (with enough retry
+budget) converges to exactly the same result set as a fault-free one --
+same fingerprints, clean store verify -- because injection only
+perturbs *execution*, never the simulation inputs.
+"""
+
+import time
+
+import pytest
+
+from repro.store import (
+    CampaignScheduler,
+    ChaosFault,
+    ChaosRunner,
+    ChaosSpec,
+    RunStore,
+    RunTimeout,
+)
+from repro.store.fingerprint import config_fingerprint
+
+from tests.store.test_runstore import make_config, make_result
+
+
+def _configs(n):
+    return [make_config(seed=seed) for seed in range(n)]
+
+
+# Module-level and stateless so ChaosRunner stays picklable for pools.
+def _ok(config):
+    return make_result(config)
+
+
+def _result_key(result):
+    # make_result is a pure function of the config, so this identity
+    # tuple is enough to prove two campaigns produced the same run set.
+    return (result.system, result.cca, result.capacity_bps,
+            result.queue_mult, result.seed)
+
+
+class TestSpecParsing:
+    def test_parse_round_trip(self):
+        spec = ChaosSpec.parse("crash=0.2, exc=0.3, seed=7, hang_s=5, once=false")
+        assert spec == ChaosSpec(crash=0.2, exc=0.3, seed=7, hang_s=5.0, once=False)
+
+    def test_parse_defaults(self):
+        assert ChaosSpec.parse("exc=0.5") == ChaosSpec(exc=0.5)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "exc",                # missing value
+            "frobnicate=0.5",     # unknown key
+            "exc=lots",           # non-numeric rate
+            "once=maybe",         # non-boolean
+            "exc=1.5",            # rate out of range
+            "crash=0.6,hang=0.6", # rates exceed the unit interval
+            "hang_s=0",           # non-positive hang
+        ],
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            ChaosSpec.parse(spec)
+
+
+class TestSchedule:
+    def test_decide_is_deterministic(self):
+        spec = ChaosSpec(crash=0.3, hang=0.3, exc=0.3, seed=42)
+        fps = [config_fingerprint(c) for c in _configs(20)]
+        first = [spec.decide(fp, 1) for fp in fps]
+        again = [spec.decide(fp, 1) for fp in fps]
+        assert first == again
+        # Rates this high must actually fire across 20 fingerprints.
+        assert set(first) > {None}
+
+    def test_decide_varies_with_seed(self):
+        fps = [config_fingerprint(c) for c in _configs(50)]
+        a = [ChaosSpec(exc=0.5, seed=1).decide(fp, 1) for fp in fps]
+        b = [ChaosSpec(exc=0.5, seed=2).decide(fp, 1) for fp in fps]
+        assert a != b
+
+    def test_once_limits_faults_to_first_attempt(self):
+        spec = ChaosSpec(exc=1.0, seed=0, once=True)
+        fp = config_fingerprint(make_config())
+        assert spec.decide(fp, 1) == "exc"
+        assert spec.decide(fp, 2) is None
+        rerolling = ChaosSpec(exc=1.0, seed=0, once=False)
+        assert rerolling.decide(fp, 2) == "exc"
+
+
+class TestChaosRunner:
+    def test_inline_crash_becomes_exception(self):
+        # An injected crash must not kill the interpreter when the
+        # runner executes inline (serial mode / this test process).
+        runner = ChaosRunner(_ok, ChaosSpec(crash=1.0))
+        with pytest.raises(ChaosFault, match="injected crash"):
+            runner(make_config())
+
+    def test_exc_fault_raises_chaos_fault(self):
+        runner = ChaosRunner(_ok, ChaosSpec(exc=1.0))
+        with pytest.raises(ChaosFault, match="transient"):
+            runner(make_config())
+
+    def test_hang_fault_raises_run_timeout(self):
+        runner = ChaosRunner(_ok, ChaosSpec(hang=1.0, hang_s=0.01))
+        start = time.perf_counter()
+        with pytest.raises(RunTimeout, match="injected hang"):
+            runner(make_config())
+        assert time.perf_counter() - start < 5.0
+
+    def test_clean_attempt_passes_through(self):
+        config = make_config()
+        runner = ChaosRunner(_ok, ChaosSpec(exc=1.0, once=True))
+        result = runner(config, attempt=2)  # once=True: attempt 2 is clean
+        assert _result_key(result) == _result_key(make_result(config))
+
+
+class TestConvergence:
+    """Chaos campaigns end in the same place as fault-free ones."""
+
+    def _fault_free_keys(self, configs):
+        report = CampaignScheduler(run_fn=_ok).run(configs)
+        return sorted(_result_key(r) for r in report.results)
+
+    def test_serial_exc_chaos_converges(self, tmp_path):
+        configs = _configs(8)
+        spec = ChaosSpec(exc=0.9, seed=3, once=True)
+        injected = sum(
+            spec.decide(config_fingerprint(c), 1) is not None for c in configs
+        )
+        assert injected >= 4  # the seed must actually exercise the path
+        store = RunStore(tmp_path)
+        report = CampaignScheduler(
+            store=store, retries=1, run_fn=ChaosRunner(_ok, spec),
+            sleep=lambda delay: None,
+        ).run(configs)
+        assert report.failures == []
+        assert report.retries == injected
+        assert sorted(
+            _result_key(r) for r in report.results
+        ) == self._fault_free_keys(configs)
+        assert store.verify() == []
+
+    def test_pool_crash_chaos_converges(self, tmp_path):
+        configs = _configs(6)
+        spec = ChaosSpec(crash=0.5, seed=11, once=True)
+        injected = [
+            c for c in configs
+            if spec.decide(config_fingerprint(c), 1) == "crash"
+        ]
+        assert injected  # seed chosen so at least one worker dies
+        store = RunStore(tmp_path)
+        report = CampaignScheduler(
+            workers=2, store=store, retries=2, backoff_base=0.01,
+            run_fn=ChaosRunner(_ok, spec),
+        ).run(configs)
+        assert report.failures == []
+        assert report.pool_breaks >= 1
+        assert sorted(
+            _result_key(r) for r in report.results
+        ) == self._fault_free_keys(configs)
+        assert store.verify() == []
+
+    def test_pool_hang_chaos_is_killed_and_converges(self, tmp_path):
+        configs = _configs(4)
+        spec = ChaosSpec(hang=0.6, seed=5, once=True, hang_s=60.0)
+        hung = [
+            c for c in configs
+            if spec.decide(config_fingerprint(c), 1) == "hang"
+        ]
+        assert hung  # seed chosen so at least one run hangs
+        store = RunStore(tmp_path)
+        start = time.perf_counter()
+        report = CampaignScheduler(
+            workers=2, store=store, retries=2, timeout=1.0,
+            backoff_base=0.01, run_fn=ChaosRunner(_ok, spec),
+        ).run(configs)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0, f"hung chaos workers not killed ({elapsed:.1f}s)"
+        assert report.failures == []
+        assert report.timeouts >= len(hung)
+        assert sorted(
+            _result_key(r) for r in report.results
+        ) == self._fault_free_keys(configs)
+        assert store.verify() == []
+
+    def test_serial_hang_uses_cooperative_timeout_path(self):
+        # Serial mode cannot kill anything: the injected hang sleeps
+        # hang_s then raises RunTimeout itself, which the scheduler
+        # counts and retries like a hard-killed run.
+        configs = _configs(3)
+        spec = ChaosSpec(hang=0.7, seed=2, once=True, hang_s=0.01)
+        hung = sum(
+            spec.decide(config_fingerprint(c), 1) == "hang" for c in configs
+        )
+        assert hung >= 1
+        report = CampaignScheduler(
+            retries=1, run_fn=ChaosRunner(_ok, spec),
+            sleep=lambda delay: None,
+        ).run(configs)
+        assert report.failures == []
+        assert report.timeouts == hung
+        assert report.executed == 3

@@ -273,6 +273,8 @@ class TestObservability:
             "store.misses": 1,
             "sched.executed": 1,
             "sched.retries": 0,
+            "sched.timeouts": 0,
+            "sched.pool_breaks": 0,
             "sched.failures": 0,
         }
         for name, value in report.counters().items():

@@ -180,6 +180,34 @@ def test_run_with_store_caches(tmp_path, capsys):
     assert second["wall_time_s"] == first["wall_time_s"]  # cached, not re-run
 
 
+def test_campaign_rejects_bad_chaos_spec(capsys):
+    rc = main(["campaign", "--profile", "smoke",
+               "--chaos", "frobnicate=0.5"])
+    assert rc == 2
+    assert "chaos" in capsys.readouterr().err
+
+
+def test_campaign_chaos_converges_and_store_verifies(tmp_path, capsys):
+    # exc=1.0 + once=true injects a transient fault on every run's first
+    # attempt; one retry converges to the fault-free result set.
+    store = str(tmp_path / "store")
+    rc = main(["campaign", "--systems", "luna", "--ccas", "cubic",
+               "--capacities", "25", "--queues", "2", "--iterations", "1",
+               "--profile", "smoke", "--store", store, "--retries", "1",
+               "--timeout", "600", "--chaos", "exc=1.0,seed=7", "--json"])
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["executed"] == 1
+    assert summary["retries"] == 1
+    assert summary["failures"] == []
+    assert summary["timeouts"] == 0
+    assert summary["interrupted"] is False
+    assert summary["abandoned"] == 0
+
+    assert main(["store", "verify", store]) == 0
+    assert "ok (1 entries)" in capsys.readouterr().out
+
+
 def test_run_trace_metrics_profile_round_trip(tmp_path, capsys):
     """run --trace/--metrics/--profile-sim, then inspect the capture."""
     trace_path = tmp_path / "trace.jsonl"
