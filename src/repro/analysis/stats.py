@@ -51,9 +51,12 @@ def confidence_interval_95(values) -> tuple[float, float]:
         return float("nan"), float("nan")
     if arr.size == 1:
         return float(arr[0]), 0.0
-    mean, std = mean_std(arr)
-    half = _t_quantile(arr.size - 1) * std / np.sqrt(arr.size)
-    return mean, float(half)
+    # Single pass over the one converted array (mean_std would convert
+    # and reduce it a second time).
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1))
+    half = _t_quantile(arr.size - 1) * std / float(np.sqrt(arr.size))
+    return mean, half
 
 
 def format_mean_std(mean: float, std: float, digits: int = 1) -> str:

@@ -1,8 +1,11 @@
 """Regression gate: current BENCH results vs a committed baseline.
 
-The comparator prefers events/second (workload-normalised, robust to a
-scenario growing more events) and falls back to best wall time for
-scenarios without a spanning simulator.  ``tolerance`` is a relative
+The comparator prefers sim-seconds-per-wall-second (the workload is a
+fixed span of simulated time, so time compression is invariant under
+event coalescing -- an optimisation that delivers the same packets in
+fewer events must not read as "throughput fell"), then events/second,
+then best wall time for scenarios without a spanning simulator.
+``tolerance`` is a relative
 band: with ``tolerance=0.35`` a scenario regresses only when its
 events/second falls more than 35% below the baseline (or its wall time
 rises more than 35% above).  The band is deliberately wide -- it guards
@@ -32,7 +35,8 @@ class Delta:
 
     scenario: str
     status: str  # "ok" | "improved" | "regressed" | "new" | "skipped"
-    metric: str | None = None  # "events_per_sec" | "best_wall_s"
+    #: "sim_s_per_wall_s" | "events_per_sec" | "best_wall_s"
+    metric: str | None = None
     baseline: float | None = None
     current: float | None = None
     change: float | None = None
@@ -93,10 +97,11 @@ class ComparisonReport:
 
 
 def _metric(entry: dict) -> tuple[str, float] | None:
-    """Pick the comparable metric of one BENCH entry."""
-    eps = entry.get("events_per_sec")
-    if isinstance(eps, (int, float)) and eps > 0:
-        return "events_per_sec", float(eps)
+    """Pick the comparable metric of one BENCH entry, by preference."""
+    for name in ("sim_s_per_wall_s", "events_per_sec"):
+        value = entry.get(name)
+        if isinstance(value, (int, float)) and value > 0:
+            return name, float(value)
     wall = entry.get("best_wall_s")
     if isinstance(wall, (int, float)) and wall > 0:
         return "best_wall_s", float(wall)
@@ -138,10 +143,10 @@ def compare_results(
             cur_metric = ("best_wall_s", float(current[name]["best_wall_s"]))
         metric, base_value = base_metric
         _, cur_value = cur_metric
-        if metric == "events_per_sec":
-            change = cur_value / base_value - 1.0  # negative = slower
-        else:
+        if metric == "best_wall_s":
             change = base_value / cur_value - 1.0  # wall up = negative
+        else:
+            change = cur_value / base_value - 1.0  # negative = slower
         if change < -tolerance:
             status = "regressed"
         elif change > tolerance:

@@ -24,8 +24,11 @@ from repro.bench.scenarios import Scenario, get_scenario
 
 __all__ = ["BenchResult", "run_scenario"]
 
-#: Schema version of BENCH_*.json files.
-BENCH_FORMAT = 1
+#: Schema version of BENCH_*.json files.  Version 2 added the
+#: first-class ``sim_seconds`` / ``sim_s_per_wall_s`` fields (the
+#: time-compression headline, robust to event-coalescing changes in
+#: how many events one packet costs).
+BENCH_FORMAT = 2
 
 
 @dataclass
@@ -39,6 +42,7 @@ class BenchResult:
     wall_s: list[float]
     events: int | None
     peak_rss_kb: int
+    sim_seconds: float | None = None
     counters: dict = field(default_factory=dict)
     env: dict = field(default_factory=dict)
 
@@ -58,6 +62,16 @@ class BenchResult:
             return None
         return self.events / self.best_wall_s
 
+    @property
+    def sim_s_per_wall_s(self) -> float | None:
+        """Time-compression factor over the best repeat: how many
+        simulated seconds one wall second buys.  Unlike events/second
+        this does not move when coalescing changes the event count of
+        an identical workload, so it is the preferred headline."""
+        if self.sim_seconds is None or self.best_wall_s <= 0:
+            return None
+        return self.sim_seconds / self.best_wall_s
+
     def to_dict(self) -> dict:
         return {
             "format": BENCH_FORMAT,
@@ -74,17 +88,30 @@ class BenchResult:
                 if self.events_per_sec is not None
                 else None
             ),
+            "sim_seconds": (
+                round(self.sim_seconds, 6)
+                if self.sim_seconds is not None
+                else None
+            ),
+            "sim_s_per_wall_s": (
+                round(self.sim_s_per_wall_s, 3)
+                if self.sim_s_per_wall_s is not None
+                else None
+            ),
             "peak_rss_kb": self.peak_rss_kb,
             "counters": self.counters,
             "env": self.env,
         }
 
     def render(self) -> str:
+        compression = self.sim_s_per_wall_s
         eps = self.events_per_sec
-        headline = (
-            f"{eps:,.0f} events/s" if eps is not None
-            else f"{self.best_wall_s:.3f} s"
-        )
+        if compression is not None:
+            headline = f"{compression:,.1f} sim-s/s"
+        elif eps is not None:
+            headline = f"{eps:,.0f} events/s"
+        else:
+            headline = f"{self.best_wall_s:.3f} s"
         return (
             f"{self.scenario:<22} {headline:>20}  "
             f"best {self.best_wall_s:8.3f} s  mean {self.mean_wall_s:8.3f} s  "
@@ -129,6 +156,7 @@ def run_scenario(
         counters = scenario.run(scale)
         walls.append(perf_counter() - start)
     events = counters.pop("events", None)
+    sim_seconds = counters.pop("sim_seconds", None)
     return BenchResult(
         scenario=scenario.name,
         description=scenario.description,
@@ -136,6 +164,7 @@ def run_scenario(
         scale=scale,
         wall_s=walls,
         events=events,
+        sim_seconds=sim_seconds,
         peak_rss_kb=_peak_rss_kb(),
         counters=counters,
         env=_environment(),

@@ -5,9 +5,12 @@ number recorded today and a number recorded after the next ten PRs
 describe the same experiment (flent's named-test idea applied to our
 simulator).  Each scenario function takes a ``scale`` factor -- 1.0 is
 the canonical workload, smaller values shrink it proportionally for
-tests -- runs the workload once, and returns a counters dict.  The
-``events`` counter, when present, is the engine's ``events_processed``
-and is what the runner turns into the headline events/second figure.
+tests -- runs the workload once, and returns a counters dict.  Two counters get
+first-class treatment by the runner: ``sim_seconds`` (simulated time
+covered -- divided by wall time it yields the time-compression factor,
+the headline that stays meaningful when event coalescing changes how
+many events one packet costs) and ``events`` (the engine's
+``events_processed``, kept for the events/second figure).
 
 Scenario inventory:
 
@@ -112,7 +115,7 @@ def _engine_microbench(scale: float) -> dict:
     budget = [n]
     sim.schedule(0.0, _spin, sim, budget)
     sim.run()
-    return {"events": sim.events_processed}
+    return {"events": sim.events_processed, "sim_seconds": sim.now}
 
 
 class _TimerChurn:
@@ -146,6 +149,7 @@ def _engine_cancel_churn(scale: float) -> dict:
     sim.run(until=4.0)
     return {
         "events": sim.events_processed,
+        "sim_seconds": sim.now,
         "heap_entries_left": sim.pending,
         "live_pending": sim.live_pending,
         "compactions": sim.compactions,
@@ -170,7 +174,12 @@ def _run_testbed(scale: float, cca, system: str = "stadia") -> dict:
     snapshot = testbed.stats.snapshot()
     counters = {
         "events": testbed.sim.events_processed,
+        "sim_seconds": testbed.sim.now,
         "compactions": testbed.sim.compactions,
+        # Bottleneck transmissions: the forwarding work actually done,
+        # invariant under event coalescing (events/packet can shrink
+        # while the workload stays the same).
+        "packets_forwarded": testbed.bottleneck.packets_sent,
         "packets_received": sum(s["packets_received"] for s in snapshot.values()),
         "packets_dropped": sum(s["packets_dropped"] for s in snapshot.values()),
     }

@@ -11,7 +11,8 @@ multiples of the BDP, exactly mirroring the paper's ``tbf`` setup.
 from __future__ import annotations
 
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.sim.engine import Simulator
+from repro.sim.delayline import DelayLine
+from repro.sim.engine import Event, Simulator, _heappush
 from repro.sim.packet import Packet
 from repro.sim.queues import Queue, UnboundedQueue
 
@@ -20,6 +21,11 @@ __all__ = ["Link"]
 
 class Link:
     """A fixed-rate transmission link drained from a queue.
+
+    Serialisation completions are strictly increasing, so the fixed
+    propagation leg behind them is provably FIFO and rides a coalesced
+    :class:`~repro.sim.delayline.DelayLine` -- one live heap entry for
+    the whole leg instead of one per packet in flight.
 
     Args:
         sim: the event loop.
@@ -57,15 +63,41 @@ class Link:
         # completion); queue, sink and scheduler are fixed at wiring
         # time, so their bound methods are cached once here instead of
         # being re-resolved through two attribute hops per call.
-        self._schedule = sim.schedule
         self._enqueue = self.queue.enqueue
+        self._express = self.queue.express
         self._pop = self.queue.pop
         self._sink_receive = sink.receive
+        self._prop_push = DelayLine(sim, sink.receive).push if delay > 0 else None
+        # The serialisation timer is one recycled Event: the busy flag
+        # guarantees it is out of the heap whenever it is re-armed, and
+        # it is never cancelled, so the inlined arming below (a fresh
+        # tie-break seq plus a heap push, exactly what sim.schedule
+        # does) replaces an Event allocation per transmission.
+        self._tx_event = Event(0.0, 0, self._tx_done, ())
 
     # ------------------------------------------------------------------
     def receive(self, pkt: Packet) -> None:
         """Entry point: enqueue a packet and start transmitting if idle."""
-        if self._enqueue(pkt):
+        if not self.busy:
+            # Idle link: the queue is empty, so a plain FIFO can admit
+            # and hand the packet straight back (one call instead of the
+            # enqueue/kick/pop round trip).  AQM queues decline.
+            express = self._express(pkt)
+            if express is not None:
+                self.busy = True
+                sim = self.sim
+                time = sim.now + express.size * 8.0 / self.rate_bps
+                seq = sim._seq = sim._seq + 1
+                event = self._tx_event
+                event.time = time
+                event.seq = seq
+                event.args = (express,)
+                _heappush(sim._heap, (time, seq, event))
+                return
+        # Under contention the link is almost always busy when a packet
+        # is admitted, so guard the kick here instead of paying a frame
+        # that immediately returns.
+        if self._enqueue(pkt) and not self.busy:
             self._kick()
 
     def _kick(self) -> None:
@@ -75,7 +107,14 @@ class Link:
         if pkt is None:
             return
         self.busy = True
-        self._schedule(pkt.size * 8.0 / self.rate_bps, self._tx_done, pkt)
+        sim = self.sim
+        time = sim.now + pkt.size * 8.0 / self.rate_bps
+        seq = sim._seq = sim._seq + 1
+        event = self._tx_event
+        event.time = time
+        event.seq = seq
+        event.args = (pkt,)
+        _heappush(sim._heap, (time, seq, event))
 
     def _tx_done(self, pkt: Packet) -> None:
         self.bytes_sent += pkt.size
@@ -85,12 +124,25 @@ class Link:
                 "link.tx", self.sim.now,
                 flow=pkt.flow, size=pkt.size, sent=self.bytes_sent,
             )
-        if self.delay > 0:
-            self._schedule(self.delay, self._sink_receive, pkt)
+        if self._prop_push is not None:
+            self._prop_push(self.sim.now + self.delay, pkt)
         else:
             self._sink_receive(pkt)
-        self.busy = False
-        self._kick()
+        # Inlined _kick for the completion path (it runs once per
+        # transmitted packet).  The sink call above happens while the
+        # link still reads as busy, exactly as in the two-step path.
+        nxt = self._pop()
+        if nxt is None:
+            self.busy = False
+            return
+        sim = self.sim
+        time = sim.now + nxt.size * 8.0 / self.rate_bps
+        seq = sim._seq = sim._seq + 1
+        event = self._tx_event
+        event.time = time
+        event.seq = seq
+        event.args = (nxt,)
+        _heappush(sim._heap, (time, seq, event))
 
     # ------------------------------------------------------------------
     def serialization_time(self, size_bytes: int) -> float:

@@ -18,7 +18,8 @@ from typing import Callable
 
 import numpy as np
 
-from repro.sim.engine import Simulator
+from repro.sim.delayline import DelayLine
+from repro.sim.engine import Simulator, _heappush
 from repro.sim.packet import Packet
 
 __all__ = ["NetemDelay", "NetemLoss"]
@@ -26,6 +27,10 @@ __all__ = ["NetemDelay", "NetemLoss"]
 
 class NetemDelay:
     """Fixed (optionally jittered) one-way delay, order-preserving.
+
+    The no-reordering clamp makes the stage provably FIFO, so deliveries
+    ride a coalesced :class:`~repro.sim.delayline.DelayLine`: one live
+    heap entry for the whole stage instead of one per packet in flight.
 
     Args:
         sim: the event loop.
@@ -56,23 +61,36 @@ class NetemDelay:
         self.sink = sink
         self._last_release = 0.0
         self.packets_delayed = 0
-        # Every packet traverses a delay stage at least twice (per-flow
-        # downlink netem, uplink); cache the per-packet call targets.
-        self._schedule_at = sim.schedule_at
-        self._sink_receive = sink.receive
+        self._line = DelayLine(sim, sink.receive)
 
     def receive(self, pkt: Packet) -> None:
+        sim = self.sim
         delay = self.delay
         if self.jitter > 0:
             delay += self.rng.uniform(-self.jitter, self.jitter)
             if delay < 0:
                 delay = 0.0
-        release = self.sim.now + delay
+        release = sim.now + delay
         if release < self._last_release:  # no reordering
             release = self._last_release
-        self._last_release = release
+        else:
+            self._last_release = release
         self.packets_delayed += 1
-        self._schedule_at(release, self._sink_receive, pkt)
+        # Inlined DelayLine.push (same package): every packet crosses a
+        # delay stage at least twice, and the saved frame is measurable.
+        line = self._line
+        seq = sim._seq = sim._seq + 1
+        line._q.append((release, seq, pkt))
+        if not line._armed:
+            line._armed = True
+            timer = line._timer
+            timer.time = release
+            timer.seq = seq
+            _heappush(sim._heap, (release, seq, timer))
+
+    def __len__(self) -> int:
+        """Packets currently traversing the delay stage."""
+        return len(self._line)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NetemDelay {self.delay * 1e3:.2f}ms jitter={self.jitter * 1e3:.2f}ms>"

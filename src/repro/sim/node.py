@@ -59,6 +59,20 @@ class Demux:
     def route(self, flow: str, sink: PacketSink) -> None:
         self._routes[flow] = sink
 
+    def sink_for(self, flow: str) -> PacketSink:
+        """The sink ``receive`` would forward this flow to.
+
+        Fused ingress paths (see the testbed topology) resolve the route
+        once per flow and then dispatch directly; the raise-on-unknown
+        semantics match :meth:`receive`.
+        """
+        sink = self._routes.get(flow)
+        if sink is None:
+            if self.default is None:
+                raise KeyError(f"no route for flow {flow!r}")
+            sink = self.default
+        return sink
+
     def receive(self, pkt: Packet) -> None:
         sink = self._routes.get(pkt.flow)
         if sink is None:

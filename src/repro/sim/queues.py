@@ -57,6 +57,18 @@ class Queue:
         """Remove and return the next packet to transmit, or None."""
         raise NotImplementedError
 
+    def express(self, pkt: Packet) -> Packet | None:
+        """Collapsed admit-then-dequeue for an idle link, or None.
+
+        An idle link over an empty FIFO would enqueue ``pkt`` and pop it
+        straight back; plain FIFOs implement that round trip as one call
+        (counters and tracepoints identical to the two-step path).  The
+        base returns None -- "use the two-step path" -- which AQM queues
+        keep, because their drop logic runs at dequeue time and must see
+        every packet.
+        """
+        return None
+
     # Shared helpers -----------------------------------------------------
     def _admit(self, pkt: Packet) -> None:
         pkt.enqueued_at = self.sim.now
@@ -94,6 +106,31 @@ class Queue:
             )
         return pkt
 
+    def _express_fifo(self, pkt: Packet) -> Packet:
+        """Admit + immediately dequeue through an empty FIFO, in one step.
+
+        Counters and tracepoints match :meth:`_admit` followed by
+        :meth:`_pop_fifo` exactly; the deque append/popleft pair is the
+        only thing skipped.  The plain-FIFO subclasses inline this body
+        into :meth:`express` (their hottest path on an unsaturated
+        link); this copy is the readable reference they must mirror.
+        """
+        now = self.sim.now
+        pkt.enqueued_at = now
+        self.enqueues += 1
+        occupied = self.bytes + pkt.size
+        if occupied > self.peak_bytes:
+            self.peak_bytes = occupied
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "queue.enqueue", now, flow=pkt.flow, size=pkt.size, q=occupied,
+            )
+            self.tracer.emit(
+                "queue.dequeue", now,
+                flow=pkt.flow, size=pkt.size, q=self.bytes, sojourn=0.0,
+            )
+        return pkt
+
 
 class DropTailQueue(Queue):
     """Byte-limited drop-tail FIFO -- the paper's bottleneck buffer.
@@ -116,14 +153,47 @@ class DropTailQueue(Queue):
         self.limit_bytes = limit_bytes
 
     def enqueue(self, pkt: Packet) -> bool:
-        if self.bytes + pkt.size > self.limit_bytes:
+        # Inlined _admit: under contention every packet pays this path.
+        occupied = self.bytes + pkt.size
+        if occupied > self.limit_bytes:
             self._drop(pkt)
             return False
-        self._admit(pkt)
+        now = self.sim.now
+        pkt.enqueued_at = now
+        self._fifo.append(pkt)
+        self.bytes = occupied
+        self.enqueues += 1
+        if occupied > self.peak_bytes:
+            self.peak_bytes = occupied
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "queue.enqueue", now, flow=pkt.flow, size=pkt.size, q=occupied,
+            )
         return True
 
-    def pop(self) -> Packet | None:
-        return self._pop_fifo()
+    # The drain policy is exactly the base FIFO pop; binding it as
+    # ``pop`` saves the wrapper frame the link pays per transmission.
+    pop = Queue._pop_fifo
+
+    def express(self, pkt: Packet) -> Packet | None:
+        if self._fifo or self.bytes + pkt.size > self.limit_bytes:
+            return None  # occupied or refused: take the two-step path
+        # Inlined _express_fifo (see its docstring).
+        now = self.sim.now
+        pkt.enqueued_at = now
+        self.enqueues += 1
+        occupied = self.bytes + pkt.size
+        if occupied > self.peak_bytes:
+            self.peak_bytes = occupied
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "queue.enqueue", now, flow=pkt.flow, size=pkt.size, q=occupied,
+            )
+            self.tracer.emit(
+                "queue.dequeue", now,
+                flow=pkt.flow, size=pkt.size, q=self.bytes, sojourn=0.0,
+            )
+        return pkt
 
 
 class UnboundedQueue(Queue):
@@ -133,5 +203,9 @@ class UnboundedQueue(Queue):
         self._admit(pkt)
         return True
 
-    def pop(self) -> Packet | None:
-        return self._pop_fifo()
+    pop = Queue._pop_fifo
+
+    def express(self, pkt: Packet) -> Packet | None:
+        if self._fifo:
+            return None
+        return self._express_fifo(pkt)

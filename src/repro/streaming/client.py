@@ -128,9 +128,10 @@ class GameStreamClient:
             return
         now = self.sim.now
         meta = pkt.meta
+        size = pkt.size
         self.packets_received += 1
-        self.bytes_received += pkt.size
-        self._iv_bytes += pkt.size
+        self.bytes_received += size
+        self._iv_bytes += size
 
         # One-way delay above baseline.
         owd = now - pkt.sent_at
@@ -154,21 +155,22 @@ class GameStreamClient:
         else:
             self._missing.pop(seq, None)
 
-        self._track_frame(meta, now)
-
-    def _track_frame(self, meta, now: float) -> None:
-        frame = self._frames.get(meta.frame_id)
+        # Frame reassembly, inlined (it runs once per media packet; the
+        # new-frame branch keeps its helpers -- it fires once per frame).
+        frame_id = meta.frame_id
+        frame = self._frames.get(frame_id)
         if frame is None:
-            if meta.frame_id <= self._frames_pruned_below:
+            if frame_id <= self._frames_pruned_below:
                 return  # ancient frame, state already pruned
             frame = _FrameState(meta.count, now)
-            self._frames[meta.frame_id] = frame
-            self.sim.schedule(FRAME_DEADLINE, self._frame_deadline, meta.frame_id)
-            self._prune_frames(meta.frame_id)
+            self._frames[frame_id] = frame
+            self.sim.schedule(FRAME_DEADLINE, self._frame_deadline, frame_id)
+            self._prune_frames(frame_id)
         if frame.done:
             return
-        frame.indices.add(meta.index)
-        if len(frame.indices) >= frame.count:
+        indices = frame.indices
+        indices.add(meta.index)
+        if len(indices) >= frame.count:
             frame.done = True
             self.frames_displayed += 1
             self.display_times.append(now)

@@ -22,6 +22,7 @@ None), and ``inflight_cap`` (segments or None -- BBR's 2xBDP cap).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable
 
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -164,14 +165,21 @@ class TcpSender:
         self.pacing_rate: float | None = None  # bytes/s
         self.inflight_cap: float | None = None  # segments
 
-        # Sequence state.
+        # Sequence state.  The segment ledger is an ordered, contiguous
+        # array: ``self._segs[seq - self._seg_base]`` is the state of
+        # segment ``seq``, covering exactly [_seg_base, snd_next).  New
+        # segments append on the right; cumulative ACKs consume from the
+        # left (entries are overwritten with None and the dead prefix is
+        # shed in amortised O(1) by _trim_ledger), so per-ACK work is
+        # proportional to *newly acked* data, never the whole window.
         self.snd_una = 0
         self.snd_next = 0
         self.pipe = 0  # segments believed in flight
-        self._segs: dict[int, _SegState] = {}
+        self._segs: list[_SegState | None] = []
+        self._seg_base = 0
         self._highest_sacked = 0
         self._hole_scan = 0
-        self._retx_queue: list[int] = []
+        self._retx_queue: deque[int] = deque()
 
         # Delivery accounting (tcp_rate_gen).
         self.delivered = 0  # bytes
@@ -274,11 +282,40 @@ class TcpSender:
         self._pace_event = None
         self._paced_pump()
 
+    def _seg_lookup(self, seq: int) -> _SegState | None:
+        """Ledger entry for ``seq``, or None when outside / acked."""
+        idx = seq - self._seg_base
+        segs = self._segs
+        if 0 <= idx < len(segs):
+            return segs[idx]
+        return None
+
+    def _trim_ledger(self) -> None:
+        """Shed the ledger's dead prefix once it dominates.
+
+        Cumulative ACKs overwrite consumed entries with None; the list
+        itself shrinks only when the dead prefix is both sizeable and
+        the majority, so the O(n) slice amortises to O(1) per segment.
+        Only the None prefix is shed: stale pre-RTO entries below
+        ``snd_una`` (go-back-N resync) stay, exactly as before.
+        """
+        segs = self._segs
+        bound = self.snd_una - self._seg_base
+        if bound < 64 or bound * 2 < len(segs):
+            return
+        dead = 0
+        n = len(segs)
+        while dead < n and segs[dead] is None:
+            dead += 1
+        if dead:
+            del segs[:dead]
+            self._seg_base += dead
+
     def _transmit_next(self) -> bool:
         """Send one segment: a queued retransmission, else new data."""
         while self._retx_queue:
-            seq = self._retx_queue.pop(0)
-            seg = self._segs.get(seq)
+            seq = self._retx_queue.popleft()
+            seg = self._seg_lookup(seq)
             if seg is None or seg.sacked or seq < self.snd_una:
                 continue  # delivered in the meantime
             self._send_segment(seq, seg, retx=True)
@@ -286,9 +323,11 @@ class TcpSender:
         return self._send_new()
 
     def _send_new(self) -> bool:
+        # Contiguity invariant: snd_next == _seg_base + len(_segs), so
+        # appending is the ledger entry for exactly this sequence number.
         seq = self.snd_next
         seg = _SegState(self.sim.now, self.delivered, self.delivered_time)
-        self._segs[seq] = seg
+        self._segs.append(seg)
         self.snd_next += 1
         self._send_segment(seq, seg, retx=False)
         return True
@@ -335,7 +374,7 @@ class TcpSender:
         rate_seg: _SegState | None = None
 
         # SACK the triggering segment.
-        seg = self._segs.get(info.sacked_seq)
+        seg = self._seg_lookup(info.sacked_seq)
         if seg is not None and info.sacked_seq >= info.ack and not seg.sacked:
             seg.sacked = True
             if not seg.lost or seg.retx:
@@ -345,18 +384,23 @@ class TcpSender:
             if info.sacked_seq > self._highest_sacked:
                 self._highest_sacked = info.sacked_seq
 
-        # Cumulative advance.
+        # Cumulative advance: O(newly acked), never the whole window.
         if info.ack > self.snd_una:
-            for seq in range(self.snd_una, info.ack):
-                acked_seg = self._segs.pop(seq, None)
+            segs = self._segs
+            base = self._seg_base
+            stop = min(info.ack, base + len(segs))
+            for idx in range(self.snd_una - base, stop - base):
+                acked_seg = segs[idx]
                 if acked_seg is None:
                     continue
+                segs[idx] = None
                 if not acked_seg.sacked:
                     if not acked_seg.lost or acked_seg.retx:
                         self.pipe -= 1
                     newly_delivered += 1
                     rate_seg = acked_seg
             self.snd_una = info.ack
+            self._trim_ledger()
             self._rto_backoff = 1.0
             self._arm_rto()  # restart on forward progress (RFC 6298 5.3)
             if self._hole_scan < self.snd_una:
@@ -423,12 +467,15 @@ class TcpSender:
         if self._hole_scan >= limit:
             return
         found = False
-        for seq in range(max(self._hole_scan, self.snd_una), limit):
-            seg = self._segs.get(seq)
+        segs = self._segs
+        base = self._seg_base
+        start = max(self._hole_scan, self.snd_una, base)
+        for idx in range(start - base, min(limit - base, len(segs))):
+            seg = segs[idx]
             if seg is not None and not seg.sacked and not seg.lost and not seg.retx:
                 seg.lost = True
                 self.pipe -= 1
-                self._retx_queue.append(seq)
+                self._retx_queue.append(base + idx)
                 found = True
         self._hole_scan = limit
         if self.pipe < 0:
@@ -456,7 +503,7 @@ class TcpSender:
         arriving well past one RTT after the retransmission, declare the
         retransmitted copy lost and send it again.
         """
-        seg = self._segs.get(self.snd_una)
+        seg = self._seg_lookup(self.snd_una)
         if seg is None or not seg.retx or seg.lost or seg.sacked:
             return
         if self._highest_sacked <= self.snd_una:
@@ -467,7 +514,7 @@ class TcpSender:
             self.pipe -= 1
             if self.pipe < 0:
                 self.pipe = 0
-            self._retx_queue.insert(0, self.snd_una)
+            self._retx_queue.appendleft(self.snd_una)
 
     # ------------------------------------------------------------------
     # RTO
@@ -492,6 +539,7 @@ class TcpSender:
         self.rto_events += 1
         self._rto_backoff = min(self._rto_backoff * 2, 64.0)
         self._segs.clear()
+        self._seg_base = self.snd_una
         self._retx_queue.clear()
         self.snd_next = self.snd_una
         self.pipe = 0

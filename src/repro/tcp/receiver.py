@@ -62,41 +62,35 @@ class TcpReceiver:
         seq = pkt.seq
         self.segments_received += 1
         self.bytes_received += pkt.size
-        if seq < self.rcv_next or seq in self._out_of_order:
+        rcv_next = self.rcv_next
+        if seq < rcv_next or seq in self._out_of_order:
             self.duplicate_segments += 1
-        elif seq == self.rcv_next:
-            self.rcv_next += 1
+        elif seq == rcv_next:
+            rcv_next += 1
             # Absorb any out-of-order run now contiguous.
             ooo = self._out_of_order
-            while self.rcv_next in ooo:
-                ooo.discard(self.rcv_next)
-                self.rcv_next += 1
+            while rcv_next in ooo:
+                ooo.discard(rcv_next)
+                rcv_next += 1
+            self.rcv_next = rcv_next
         else:
             self._out_of_order.add(seq)
-        self._send_ack(pkt)
-        if self.pool is not None:
+        # ACK generation, inlined (one ACK per segment is this class's
+        # whole job, so the helper frame was pure per-packet overhead).
+        meta = pkt.meta
+        info = AckInfo(
+            self.rcv_next, seq, pkt.sent_at, bool(meta and meta.get("retx"))
+        )
+        pool = self.pool
+        now = self.sim.now
+        if pool is not None:
+            ack_pkt = pool.acquire(self.flow, self.acks_sent, ACK_SIZE, ACK, now, info)
+        else:
+            ack_pkt = Packet(self.flow, self.acks_sent, ACK_SIZE, ACK, now, info)
+        self.acks_sent += 1
+        self.ack_path.receive(ack_pkt)
+        if pool is not None:
             # After the ACK is built: its fields were read from this
             # segment, and the freshly acquired ACK packet must not
             # alias the segment being recycled.
-            self.pool.release(pkt)
-
-    def _send_ack(self, data_pkt: Packet) -> None:
-        is_retx = bool(data_pkt.meta and data_pkt.meta.get("retx"))
-        info = AckInfo(
-            ack=self.rcv_next,
-            sacked_seq=data_pkt.seq,
-            ts_echo=data_pkt.sent_at,
-            is_retransmit_echo=is_retx,
-        )
-        if self.pool is not None:
-            ack_pkt = self.pool.acquire(
-                self.flow, self.acks_sent, ACK_SIZE, kind=ACK,
-                sent_at=self.sim.now, meta=info,
-            )
-        else:
-            ack_pkt = Packet(
-                self.flow, self.acks_sent, ACK_SIZE, kind=ACK,
-                sent_at=self.sim.now, meta=info,
-            )
-        self.acks_sent += 1
-        self.ack_path.receive(ack_pkt)
+            pool.release(pkt)

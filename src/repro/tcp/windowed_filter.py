@@ -6,6 +6,15 @@ rate over the last ~10 round trips and the minimum RTT over the last
 uses (``lib/win_minmax.c``): three timestamped samples -- best, second
 best, third best -- updated so the window can slide in O(1) per update
 without storing every sample.
+
+The three samples live in six scalar slots (t0/v0 .. t2/v2) rather than
+sample objects: ``update`` runs once per ACK for BBR and once per media
+packet for the client's delay baseline, and the flat layout does the
+whole slide with plain float loads and stores -- no allocation, no
+attribute chasing through sample objects.  The kernel reference and the
+pre-flattening object version agree on every branch; the min and max
+variants are deliberate mirror copies differing only in the comparison
+direction, so keep them in step when editing.
 """
 
 from __future__ import annotations
@@ -13,75 +22,42 @@ from __future__ import annotations
 __all__ = ["WindowedMaxFilter", "WindowedMinFilter"]
 
 
-class _Sample:
-    __slots__ = ("t", "v")
-
-    def __init__(self, t: float, v: float):
-        self.t = t
-        self.v = v
-
-
 class _WindowedFilter:
     """Kernel-style min/max estimator over a sliding time window."""
+
+    __slots__ = ("window", "_empty", "_t0", "_v0", "_t1", "_v1", "_t2", "_v2")
 
     def __init__(self, window: float):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         self.window = window
-        self._s: list[_Sample] = []
-
-    def _better(self, a: float, b: float) -> bool:
-        raise NotImplementedError
+        self._empty = True
+        self._t0 = self._v0 = 0.0
+        self._t1 = self._v1 = 0.0
+        self._t2 = self._v2 = 0.0
 
     @property
     def value(self) -> float | None:
         """Current estimate, or None before the first update."""
-        if not self._s:
+        if self._empty:
             return None
-        return self._s[0].v
+        return self._v0
 
     def reset(self, t: float, v: float) -> None:
-        sample = _Sample(t, v)
-        self._s = [sample, sample, sample]
+        self._empty = False
+        self._t0 = self._t1 = self._t2 = t
+        self._v0 = self._v1 = self._v2 = v
 
     def update(self, t: float, v: float) -> float:
         """Add a sample at time ``t``; returns the new windowed estimate."""
-        s = self._s
-        if not s or self._better(v, s[0].v) or t - s[2].t > self.window:
-            # New best, or the window has wholly expired.
-            self.reset(t, v)
-            return v
-
-        if self._better(v, s[1].v):
-            s[1] = _Sample(t, v)
-            s[2] = s[1]
-        elif self._better(v, s[2].v):
-            s[2] = _Sample(t, v)
-
-        # Expire old best estimates as the window slides.
-        if t - s[0].t > self.window:
-            s[0] = s[1]
-            s[1] = s[2]
-            s[2] = _Sample(t, v)
-            if t - s[0].t > self.window:
-                s[0] = s[1]
-                s[1] = s[2]
-            return s[0].v
-
-        # Refresh ages so long quiet periods don't starve the backups.
-        if s[1].t == s[0].t and t - s[1].t > self.window / 4:
-            s[1] = _Sample(t, v)
-            s[2] = s[1]
-        elif s[2].t == s[1].t and t - s[2].t > self.window / 2:
-            s[2] = _Sample(t, v)
-        return s[0].v
+        raise NotImplementedError  # pragma: no cover - subclasses specialise
 
     @property
     def age(self) -> float | None:
         """Age basis of the best sample (its timestamp), None when empty."""
-        if not self._s:
+        if self._empty:
             return None
-        return self._s[0].t
+        return self._t0
 
 
 class WindowedMaxFilter(_WindowedFilter):
@@ -91,12 +67,90 @@ class WindowedMaxFilter(_WindowedFilter):
     BBR uses round-trip counts for bandwidth.
     """
 
-    def _better(self, a: float, b: float) -> bool:
-        return a >= b
+    def update(self, t: float, v: float) -> float:
+        window = self.window
+        if self._empty or v >= self._v0 or t - self._t2 > window:
+            # New best, or the window has wholly expired.
+            self.reset(t, v)
+            return v
+
+        if v >= self._v1:
+            self._t1 = t
+            self._v1 = v
+            self._t2 = t
+            self._v2 = v
+        elif v >= self._v2:
+            self._t2 = t
+            self._v2 = v
+
+        # Expire old best estimates as the window slides.
+        if t - self._t0 > window:
+            self._t0 = self._t1
+            self._v0 = self._v1
+            self._t1 = self._t2
+            self._v1 = self._v2
+            self._t2 = t
+            self._v2 = v
+            if t - self._t0 > window:
+                self._t0 = self._t1
+                self._v0 = self._v1
+                self._t1 = self._t2
+                self._v1 = self._v2
+            return self._v0
+
+        # Refresh ages so long quiet periods don't starve the backups.
+        if self._t1 == self._t0 and t - self._t1 > window / 4:
+            self._t1 = t
+            self._v1 = v
+            self._t2 = t
+            self._v2 = v
+        elif self._t2 == self._t1 and t - self._t2 > window / 2:
+            self._t2 = t
+            self._v2 = v
+        return self._v0
 
 
 class WindowedMinFilter(_WindowedFilter):
     """Running minimum over a sliding time window (BBR's min-RTT filter)."""
 
-    def _better(self, a: float, b: float) -> bool:
-        return a <= b
+    def update(self, t: float, v: float) -> float:
+        window = self.window
+        if self._empty or v <= self._v0 or t - self._t2 > window:
+            # New best, or the window has wholly expired.
+            self.reset(t, v)
+            return v
+
+        if v <= self._v1:
+            self._t1 = t
+            self._v1 = v
+            self._t2 = t
+            self._v2 = v
+        elif v <= self._v2:
+            self._t2 = t
+            self._v2 = v
+
+        # Expire old best estimates as the window slides.
+        if t - self._t0 > window:
+            self._t0 = self._t1
+            self._v0 = self._v1
+            self._t1 = self._t2
+            self._v1 = self._v2
+            self._t2 = t
+            self._v2 = v
+            if t - self._t0 > window:
+                self._t0 = self._t1
+                self._v0 = self._v1
+                self._t1 = self._t2
+                self._v1 = self._v2
+            return self._v0
+
+        # Refresh ages so long quiet periods don't starve the backups.
+        if self._t1 == self._t0 and t - self._t1 > window / 4:
+            self._t1 = t
+            self._v1 = v
+            self._t2 = t
+            self._v2 = v
+        elif self._t2 == self._t1 and t - self._t2 > window / 2:
+            self._t2 = t
+            self._v2 = v
+        return self._v0

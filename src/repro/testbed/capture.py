@@ -53,6 +53,19 @@ class PacketCapture:
         trace.times.append(self.sim.now)
         trace.sizes.append(pkt.size)
 
+    def flow_trace(self, flow: str) -> _FlowTrace:
+        """The per-flow record lists, created on demand.
+
+        Fused arrival paths append to ``times``/``sizes`` directly (one
+        list append each) instead of routing every packet through
+        :meth:`tap`; the records are identical either way.
+        """
+        trace = self._flows.get(flow)
+        if trace is None:
+            trace = _FlowTrace()
+            self._flows[flow] = trace
+        return trace
+
     # ------------------------------------------------------------------
     @property
     def flows(self) -> list[str]:

@@ -29,9 +29,10 @@ def test_bench_list_json(capsys):
 def test_bench_run_writes_valid_bench_json(tmp_path, capsys):
     assert _bench_run(tmp_path) == 0
     out = capsys.readouterr().out
-    assert "events/s" in out
+    assert "sim-s/s" in out
     results = load_results_dir(tmp_path)
     assert results["engine-microbench"]["events"] > 0
+    assert results["engine-microbench"]["sim_s_per_wall_s"] > 0
 
 
 def test_bench_run_json_output(tmp_path, capsys):
@@ -66,11 +67,11 @@ def test_bench_compare_clean_pass(tmp_path, capsys):
 
 def test_bench_compare_injected_regression_exits_nonzero(tmp_path, capsys):
     assert _bench_run(tmp_path) == 0
-    # Forge a "current" directory whose throughput collapsed 10x.
+    # Forge a "current" directory whose time compression collapsed 10x.
     current = tmp_path / "current"
     path = tmp_path / bench_filename("engine-microbench")
     data = json.loads(path.read_text())
-    data["events_per_sec"] /= 10.0
+    data["sim_s_per_wall_s"] /= 10.0
     current.mkdir()
     (current / path.name).write_text(json.dumps(data))
     capsys.readouterr()
