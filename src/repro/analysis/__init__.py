@@ -12,6 +12,9 @@
 - :mod:`repro.analysis.framerate` -- frame-rate cells (Table 5).
 - :mod:`repro.analysis.render` -- plain-text tables, heatmaps and
   scatter summaries for terminal output.
+- :mod:`repro.analysis.reducers` -- streaming cross-run reducers
+  (Welford moments, reservoir quantiles, per-bin bands) backing the
+  :mod:`repro.report` sweep aggregation.
 """
 
 from repro.analysis.adaptiveness import (
@@ -23,13 +26,17 @@ from repro.analysis.adaptiveness import (
 from repro.analysis.bitrate import BitrateBand, aggregate_bitrate_series
 from repro.analysis.fairness import fairness_ratio, harm
 from repro.analysis.stats import confidence_interval_95, mean_std
+from repro.analysis.reducers import BandAccumulator, Moments, QuantileReservoir
 from repro.analysis.rtt import rtt_cell
 from repro.analysis.loss import loss_cell
 from repro.analysis.framerate import framerate_cell
 
 __all__ = [
     "AdaptivenessPoint",
+    "BandAccumulator",
     "BitrateBand",
+    "Moments",
+    "QuantileReservoir",
     "adaptiveness",
     "aggregate_bitrate_series",
     "confidence_interval_95",

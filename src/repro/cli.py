@@ -25,9 +25,19 @@ Examples::
         --timeout 120 --chaos "crash=0.2,exc=0.3,seed=7"
 
     # Inspect / check / clean the store
-    repro-gsnet store ls runs/
+    repro-gsnet store ls runs/ --json
     repro-gsnet store verify runs/
     repro-gsnet store gc runs/
+
+    # Aggregate stored runs into the paper's artefacts -- zero
+    # simulations, any registered output format
+    repro-gsnet report runs/ --where cca=bbr --where capacity=25
+    repro-gsnet report runs/ --format csv -o out/
+    repro-gsnet report runs/ --format figures -o figures/
+
+    # Watch a campaign from another terminal (heartbeat stream)
+    repro-gsnet status runs/
+    repro-gsnet status runs/ --campaign a1b2c3 --history 10
 
     # Capture a trace + metrics + profiler report, then inspect it
     repro-gsnet run --system stadia --cca bbr --profile smoke \
@@ -76,7 +86,14 @@ from repro.obs import (
     render_trace_summary,
     summarize_trace,
 )
-from repro.store import ChaosSpec, RunStore, StoreVersionError
+from repro.report import (
+    aggregate_store,
+    campaign_status,
+    formatter_names,
+    get_formatter,
+    render_status,
+)
+from repro.store import ChaosSpec, RunStore, StoreIndex, StoreVersionError, parse_where
 from repro.streaming.systems import SYSTEMS
 from repro.tcp import CCA_REGISTRY
 from repro.testbed.topology import QUEUE_DISCIPLINES
@@ -215,6 +232,45 @@ def _build_parser() -> argparse.ArgumentParser:
         store_cmd.add_argument("path", help="store directory")
         if name == "ls":
             store_cmd.add_argument("--json", action="store_true")
+
+    report_parser = sub.add_parser(
+        "report",
+        help="aggregate stored runs into tables/figures (never simulates)",
+    )
+    report_parser.add_argument("path", help="store directory")
+    report_parser.add_argument(
+        "--where", action="append", metavar="KEY=VALUE[,VALUE...]",
+        help="filter runs by condition axis (repeatable; e.g. cca=bbr, "
+             "capacity=25, system=stadia,luna, cca=solo)",
+    )
+    report_parser.add_argument(
+        "--format", choices=formatter_names(), default="table",
+        help="output format (registered formatters)",
+    )
+    report_parser.add_argument(
+        "-o", "--out", metavar="DIR", default=None,
+        help="write the formatter's files under DIR instead of stdout",
+    )
+    report_parser.add_argument(
+        "--rebuild-index", action="store_true",
+        help="ignore the cached store index and rebuild it",
+    )
+
+    status_parser = sub.add_parser(
+        "status", help="show live campaign progress from the heartbeat stream"
+    )
+    status_parser.add_argument("path", help="store directory")
+    status_parser.add_argument(
+        "--campaign", metavar="ID", default=None,
+        help="campaign id (default: every campaign with a heartbeat)",
+    )
+    status_parser.add_argument(
+        "--history", type=int, default=0, metavar="N",
+        help="also show the last N heartbeat records per campaign",
+    )
+    status_parser.add_argument(
+        "--json", action="store_true", help="emit the latest snapshots as JSON"
+    )
 
     table1 = sub.add_parser("table1", help="baseline bitrates (paper Table 1)")
     table1.add_argument("--iterations", type=int, default=3)
@@ -518,10 +574,12 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if args.store_command == "ls":
-        entries = store.ls()
         if getattr(args, "json", False):
-            print(json.dumps(entries))
+            # Machine-readable listing: the same stat-enriched entries
+            # the store index caches (fingerprint, axes, size, mtime).
+            print(json.dumps(store.ls(stat=True)))
             return 0
+        entries = store.ls()
         for entry in entries:
             print(f"{entry['fp'][:12]}  {entry['label']}")
         print(f"{len(entries)} stored run(s)")
@@ -601,6 +659,80 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        store = RunStore(args.path)
+    except (OSError, ValueError, StoreVersionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        where = parse_where(args.where)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    formatter = get_formatter(args.format)
+    index = StoreIndex.open(store, rebuild=args.rebuild_index)
+    try:
+        report = aggregate_store(
+            store,
+            where=where,
+            index=index,
+            # The band arrays only feed the figure set; metric-only
+            # formats skip accumulating them.
+            keep_bands=(args.format == "figures"),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    files = formatter(report)
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        for name, content in sorted(files.items()):
+            (out / name).write_text(content)
+            print(f"wrote {out / name}")
+    else:
+        for i, name in enumerate(sorted(files)):
+            if len(files) > 1:
+                if i:
+                    print()
+                print(f"=== {name} ===")
+            print(files[name], end="" if files[name].endswith("\n") else "\n")
+    if report.total_runs == 0:
+        print("warning: no stored runs matched the selection", file=sys.stderr)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    try:
+        store = RunStore(args.path)
+    except (OSError, ValueError, StoreVersionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    ids = [args.campaign] if args.campaign else store.campaign_ids()
+    statuses = [
+        status
+        for status in (campaign_status(store, cid) for cid in ids)
+        if status is not None
+    ]
+    if args.json:
+        print(json.dumps(
+            [{"campaign_id": s["campaign_id"], **s["last"]} for s in statuses]
+        ))
+        return 0 if statuses else 1
+    if not statuses:
+        which = f"campaign {args.campaign}" if args.campaign else "any campaign"
+        print(f"no heartbeat recorded for {which} in {args.path}")
+        return 1
+    for i, status in enumerate(statuses):
+        if i:
+            print()
+        print(render_status(status, history=args.history))
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     timeline = _TIMELINES[args.profile]
     configs = [
@@ -641,6 +773,8 @@ def main(argv: list[str] | None = None) -> int:
         "table1": _cmd_table1,
         "bench": _cmd_bench,
         "store": _cmd_store,
+        "report": _cmd_report,
+        "status": _cmd_status,
         "inspect": _cmd_inspect,
         "list": _cmd_list,
     }

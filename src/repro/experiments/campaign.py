@@ -166,6 +166,9 @@ class Campaign:
             injection -- for soak tests, never for real measurements.
         backoff_base: first retry delay, seconds (doubles per attempt).
         backoff_cap: upper bound on any single retry delay.
+        heartbeat_interval: minimum seconds between live-progress
+            records appended to the store's campaign heartbeat (see
+            :mod:`repro.store.heartbeat`); ``None`` disables it.
 
     A ``KeyboardInterrupt`` during execution is absorbed by the
     scheduler: :attr:`report` comes back partial with
@@ -187,6 +190,7 @@ class Campaign:
         chaos: "ChaosSpec | str | None" = None,
         backoff_base: float = 0.5,
         backoff_cap: float = 30.0,
+        heartbeat_interval: float | None = 1.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -202,6 +206,7 @@ class Campaign:
         self.chaos = ChaosSpec.parse(chaos) if isinstance(chaos, str) else chaos
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.heartbeat_interval = heartbeat_interval
         self.conditions: dict[tuple, ConditionResult] = {}
         #: Per-run (label, wall seconds), in completion order.
         self.wall_times: list[tuple[str, float]] = []
@@ -240,6 +245,7 @@ class Campaign:
             run_fn=run_fn,
             backoff_base=self.backoff_base,
             backoff_cap=self.backoff_cap,
+            heartbeat_interval=self.heartbeat_interval,
         )
         self.report = scheduler.run(configs)
         return self

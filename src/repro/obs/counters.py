@@ -25,6 +25,19 @@ class CounterSet:
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
 
+    def merge(self, other: "CounterSet | dict") -> "CounterSet":
+        """Fold another counter bag into this one (sum per name).
+
+        Merging is how per-worker scheduler counters roll up into one
+        campaign heartbeat: commutative and associative, so any merge
+        order yields the same totals.  Negative increments are rejected
+        (monotonicity holds across merges, not just :meth:`inc`).
+        """
+        counts = other._counts if isinstance(other, CounterSet) else other
+        for name, by in counts.items():
+            self.inc(name, by)
+        return self
+
     def to_dict(self) -> dict:
         return dict(sorted(self._counts.items()))
 

@@ -9,6 +9,7 @@ the GCC target moved.
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 
@@ -17,10 +18,24 @@ import numpy as np
 __all__ = ["load_trace", "summarize_trace", "render_trace_summary"]
 
 
+def _open_text(path: "str | Path"):
+    """Open a trace for reading, transparently decompressing gzip.
+
+    Detection is by magic bytes, not filename, so a renamed ``.gz``
+    capture still loads.
+    """
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == b"\x1f\x8b":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path)
+
+
 def load_trace(path: "str | Path") -> list[dict]:
-    """Read a JSONL trace; raises ValueError naming the first bad line."""
+    """Read a JSONL trace (plain or gzip-compressed); raises ValueError
+    naming the first bad line."""
     events = []
-    with open(path) as fh:
+    with _open_text(path) as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:

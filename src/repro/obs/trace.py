@@ -26,8 +26,11 @@ Observability section; :mod:`repro.obs.inspect` summarises trace files.
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 import math
+import os
 from typing import Any, IO
 
 __all__ = ["Tracer", "NULL_TRACER", "JsonlSink", "MemorySink"]
@@ -108,15 +111,33 @@ class JsonlSink:
     """Write one compact JSON object per event line.
 
     Accepts a path (file opened and owned by the sink) or any text
-    file-like object (left open on :meth:`close`).
+    file-like object (left open on :meth:`close`).  A path ending in
+    ``.gz`` is written gzip-compressed -- multi-hour traces dominate
+    store disk usage and JSONL compresses ~10x -- and the byte stream
+    is deterministic (``mtime=0``, no filename header) so identical
+    runs still produce identical trace files.
     """
 
     def __init__(self, target: "str | IO[str]"):
+        self._raw: "IO[bytes] | None" = None
         if hasattr(target, "write"):
             self._fh: IO[str] = target
             self._owns = False
         else:
-            self._fh = open(target, "w")
+            path = os.fspath(target)
+            if path.endswith(".gz"):
+                # filename="" and mtime=0 keep the gzip header free of
+                # wall-clock and path state, so identical runs still
+                # produce byte-identical trace files.
+                self._raw = open(path, "wb")
+                self._fh = io.TextIOWrapper(
+                    gzip.GzipFile(
+                        filename="", mode="wb", fileobj=self._raw, mtime=0
+                    ),
+                    encoding="utf-8",
+                )
+            else:
+                self._fh = open(path, "w")
             self._owns = True
 
     def write(self, record: dict) -> None:
@@ -132,6 +153,11 @@ class JsonlSink:
         self._fh.flush()
         if self._owns:
             self._fh.close()
+            if self._raw is not None:
+                # TextIOWrapper closes the GzipFile (writing the gzip
+                # trailer) but not the file the compressor wrote into.
+                self._raw.close()
+                self._raw = None
 
 
 class MemorySink:

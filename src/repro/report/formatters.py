@@ -1,0 +1,315 @@
+"""Flent-style pluggable output formatters for sweep reports.
+
+Every formatter is a function ``(report: SweepReport) -> dict`` mapping
+a relative file name to its text content, registered by name::
+
+    @register_formatter("csv", description="one row per condition")
+    def format_csv(report):
+        return {"conditions.csv": ...}
+
+The CLI resolves ``repro-gsnet report --format NAME``; with ``-o DIR``
+each file is written under the directory, without it the contents are
+concatenated to stdout.  Returning a file map (rather than printing)
+keeps formatters pure and lets one formatter emit a whole figure set.
+
+Built-in formatters: ``table`` (ascii grids), ``csv``, ``json``,
+``markdown``, and ``figures`` (the paper's Figures 2-4 and Tables 3-5
+rendered from stored runs only -- zero simulations).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.render import (
+    render_heatmap,
+    render_scatter,
+    render_series,
+    render_table,
+)
+from repro.report.aggregate import SweepReport
+
+__all__ = [
+    "Formatter",
+    "register_formatter",
+    "get_formatter",
+    "formatter_names",
+]
+
+
+@dataclass(frozen=True)
+class Formatter:
+    """A registered output format."""
+
+    name: str
+    description: str
+    fn: Callable[[SweepReport], dict]
+
+    def __call__(self, report: SweepReport) -> dict:
+        return self.fn(report)
+
+
+_REGISTRY: dict[str, Formatter] = {}
+
+
+def register_formatter(name: str, description: str = ""):
+    """Class-of-output registration decorator (flent's formatter idiom)."""
+
+    def decorate(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"formatter {name!r} already registered")
+        _REGISTRY[name] = Formatter(name=name, description=description, fn=fn)
+        return fn
+
+    return decorate
+
+
+def get_formatter(name: str) -> Formatter:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        options = ", ".join(formatter_names())
+        raise ValueError(f"unknown format {name!r}; options: {options}") from None
+
+
+def formatter_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Shared row shaping
+# ----------------------------------------------------------------------
+
+#: Flat per-condition columns every tabular formatter shares.
+_COLUMNS = (
+    "system",
+    "cca",
+    "capacity_mbps",
+    "queue_mult",
+    "qdisc",
+    "runs",
+    "baseline_mbps",
+    "fairness",
+    "rtt_ms",
+    "rtt_p95_ms",
+    "loss_pct",
+    "fps",
+    "response_s",
+    "recovery_s",
+)
+
+
+def _rows(report: SweepReport) -> list[dict]:
+    """One flat dict per condition (means only; CIs live in json)."""
+    rows = []
+    for summary in (c.to_dict() for c in report.conditions.values()):
+        def stat(name, field="mean", scale=1.0):
+            cell = summary.get(name)
+            return None if cell is None else cell[field] * scale
+
+        cdf = summary.get("rtt_cdf_ms") or []
+        p95 = None
+        for value, fraction in cdf:
+            if fraction >= 0.95:
+                p95 = value
+                break
+        rows.append(
+            {
+                "system": summary["system"],
+                "cca": summary["cca"] or "solo",
+                "capacity_mbps": summary["capacity_mbps"],
+                "queue_mult": summary["queue_mult"],
+                "qdisc": summary["qdisc"],
+                "runs": summary["runs"],
+                "baseline_mbps": stat("baseline_bps", scale=1e-6),
+                "fairness": stat("fairness"),
+                "rtt_ms": stat("rtt_ms"),
+                "rtt_p95_ms": p95,
+                "loss_pct": stat("loss_rate", scale=100.0),
+                "fps": stat("fps"),
+                "response_s": stat("response_s"),
+                "recovery_s": stat("recovery_s"),
+            }
+        )
+    return rows
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def _header(report: SweepReport) -> str:
+    clauses = ", ".join(f"{k}={v}" for k, v in report.where.items()) or "all runs"
+    return (
+        f"sweep report: {report.total_runs} runs, "
+        f"{len(report.conditions)} conditions ({clauses})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in formatters
+# ----------------------------------------------------------------------
+
+
+@register_formatter("table", description="ascii condition grid")
+def format_table(report: SweepReport) -> dict:
+    rows = _rows(report)
+    widths = {
+        col: max(len(col), *(len(_cell(r[col])) for r in rows)) if rows else len(col)
+        for col in _COLUMNS
+    }
+    lines = [_header(report), ""]
+    lines.append("  ".join(col.rjust(widths[col]) for col in _COLUMNS))
+    lines.append("  ".join("-" * widths[col] for col in _COLUMNS))
+    for row in rows:
+        lines.append(
+            "  ".join(_cell(row[col]).rjust(widths[col]) for col in _COLUMNS)
+        )
+    if report.skipped:
+        lines.append("")
+        lines.append(f"skipped {len(report.skipped)} manifest entries (objects missing)")
+    return {"report.txt": "\n".join(lines) + "\n"}
+
+
+@register_formatter("csv", description="one row per condition")
+def format_csv(report: SweepReport) -> dict:
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(_COLUMNS))
+    writer.writeheader()
+    for row in _rows(report):
+        writer.writerow(
+            {col: ("" if row[col] is None else row[col]) for col in _COLUMNS}
+        )
+    return {"conditions.csv": buffer.getvalue()}
+
+
+@register_formatter("json", description="full aggregates with CIs and CDFs")
+def format_json(report: SweepReport) -> dict:
+    return {"report.json": json.dumps(report.to_dict(), indent=2) + "\n"}
+
+
+@register_formatter("markdown", description="GitHub-flavoured condition table")
+def format_markdown(report: SweepReport) -> dict:
+    rows = _rows(report)
+    lines = [f"# {_header(report)}", ""]
+    lines.append("| " + " | ".join(_COLUMNS) + " |")
+    lines.append("|" + "|".join(" --- " for _ in _COLUMNS) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(row[col]) for col in _COLUMNS) + " |")
+    if report.skipped:
+        lines.append("")
+        lines.append(
+            f"_skipped {len(report.skipped)} manifest entries (objects missing)_"
+        )
+    return {"report.md": "\n".join(lines) + "\n"}
+
+
+def _condition_label(condition) -> str:
+    return (
+        f"{condition.system}/{condition.cca or 'solo'}"
+        f"/{condition.capacity_bps / 1e6:g}M/q{condition.queue_mult:g}"
+    )
+
+
+@register_formatter(
+    "figures", description="the paper's figure set from stored runs only"
+)
+def format_figures(report: SweepReport) -> dict:
+    """Figures 2-4 and Tables 3-5 as plain text, one file each.
+
+    Everything renders from the aggregated store contents; the
+    formatter never touches a simulator (the CI smoke job asserts a
+    second ``report`` pass executes zero runs).
+    """
+    files: dict = {}
+    conditions = list(report.conditions.values())
+
+    # Figure 2: per-condition bitrate-vs-time sparklines (game + iperf).
+    fig2 = []
+    for condition in conditions:
+        if not condition.runs or condition.game_band.runs == 0:
+            continue
+        game = condition.game_band.band()
+        series = {"game": game.mean}
+        if condition.contended:
+            series["iperf"] = condition.iperf_band.band().mean
+        fig2.append(
+            render_series(
+                f"Figure 2: bitrate over time -- {_condition_label(condition)} "
+                f"({condition.runs} runs)",
+                game.times,
+                series,
+            )
+        )
+    if fig2:
+        files["figure2_bitrate.txt"] = "\n\n".join(fig2) + "\n"
+
+    # Figure 3: fairness heatmap, (system/cca) x (capacity, queue).
+    contended = [c for c in conditions if c.contended and c.runs]
+    if contended:
+        row_labels = sorted({f"{c.system}/{c.cca}" for c in contended})
+        col_labels = sorted(
+            {f"{c.capacity_bps / 1e6:g}M/q{c.queue_mult:g}" for c in contended}
+        )
+        values = {
+            (
+                f"{c.system}/{c.cca}",
+                f"{c.capacity_bps / 1e6:g}M/q{c.queue_mult:g}",
+            ): c.fairness.mean
+            for c in contended
+        }
+        files["figure3_fairness.txt"] = (
+            render_heatmap(
+                "Figure 3: fairness ratio (game - tcp) / capacity",
+                row_labels,
+                col_labels,
+                values,
+            )
+            + "\n"
+        )
+
+    # Figure 4: adaptiveness-fairness scatter.
+    points = report.adaptiveness_points()
+    if points:
+        files["figure4_adaptiveness.txt"] = (
+            render_scatter("Figure 4: adaptiveness vs fairness", points) + "\n"
+        )
+
+    # Tables 3/4 (RTT ms), Table 5 (FPS): mean (std) grids.
+    def grid(title, metric, scale=1.0):
+        usable = [c for c in conditions if c.runs and getattr(c, metric).count]
+        if not usable:
+            return None
+        row_labels = sorted({f"{c.system}/{c.cca or 'solo'}" for c in usable})
+        col_labels = sorted(
+            {f"{c.capacity_bps / 1e6:g}M/q{c.queue_mult:g}" for c in usable}
+        )
+        cells = {}
+        for c in usable:
+            moments = getattr(c, metric)
+            cells[
+                (
+                    f"{c.system}/{c.cca or 'solo'}",
+                    f"{c.capacity_bps / 1e6:g}M/q{c.queue_mult:g}",
+                )
+            ] = (moments.mean * scale, moments.std * scale)
+        return render_table(title, row_labels, col_labels, cells) + "\n"
+
+    rtt = grid("Tables 3/4: RTT ms, mean (std)", "rtt_s", scale=1e3)
+    if rtt:
+        files["table3_4_rtt.txt"] = rtt
+    fps = grid("Table 5: displayed FPS under contention, mean (std)", "fps")
+    if fps:
+        files["table5_framerate.txt"] = fps
+
+    if not files:
+        files["figures_empty.txt"] = "no runs matched; nothing to render\n"
+    return files

@@ -1,0 +1,78 @@
+"""Render campaign heartbeats: the ``repro-gsnet status`` view.
+
+A heartbeat record is a full snapshot (see
+:mod:`repro.store.heartbeat`), so status needs only the last line per
+campaign; ``--history`` widens that to a short progress trail.
+"""
+
+from __future__ import annotations
+
+from repro.store.heartbeat import load_heartbeat
+
+__all__ = ["campaign_status", "render_status", "render_progress_bar"]
+
+
+def campaign_status(store, campaign_id: str) -> dict | None:
+    """The campaign's latest snapshot plus its record history."""
+    records = load_heartbeat(store.heartbeat_path(campaign_id))
+    if not records:
+        return None
+    return {"campaign_id": campaign_id, "last": records[-1], "records": records}
+
+
+def render_progress_bar(done: int, total: int, width: int = 30) -> str:
+    if total <= 0:
+        return "[" + "?" * width + "]"
+    filled = int(round(width * min(done, total) / total))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def _eta_text(record: dict) -> str:
+    eta = record.get("eta_s")
+    if eta is None:
+        return "eta unknown"
+    if eta <= 0:
+        return "eta 0s"
+    if eta >= 3600:
+        return f"eta {eta / 3600:.1f}h"
+    if eta >= 60:
+        return f"eta {eta / 60:.1f}m"
+    return f"eta {eta:.0f}s"
+
+
+def render_status(status: dict, history: int = 0) -> str:
+    """One campaign's progress as terminal text.
+
+    ``history`` > 0 appends that many trailing records as a trail
+    (sequence, done count, rate) under the summary line.
+    """
+    last = status["last"]
+    done, total = last["done"], last["total"]
+    phase = last["phase"]
+    bar = render_progress_bar(done, total)
+    percent = (100.0 * done / total) if total else 0.0
+    rate = last.get("runs_per_s")
+    hit_rate = last.get("cache_hit_rate")
+    lines = [
+        f"campaign {status['campaign_id']}: {phase}",
+        f"  {bar} {done}/{total} ({percent:.0f}%)"
+        + (f", {rate:.2f} runs/s" if rate else "")
+        + (f", {_eta_text(last)}" if phase == "running" else ""),
+        "  cache hits "
+        + (f"{last['cache_hits']} ({hit_rate * 100:.0f}%)" if hit_rate is not None
+           else str(last["cache_hits"]))
+        + f", executed {last['executed']}, failed {last['failed']}"
+        + f", retries {last['retries']}, timeouts {last['timeouts']}"
+        + f", pool breaks {last['pool_breaks']}",
+        f"  {last['elapsed_s']:.1f}s elapsed, {len(status['records'])} heartbeats",
+    ]
+    if history > 0:
+        lines.append("  trail:")
+        for record in status["records"][-history:]:
+            rate = record.get("runs_per_s")
+            lines.append(
+                f"    #{record['seq']:<4d} t+{record['elapsed_s']:>8.1f}s "
+                f"{record['done']:>6d}/{record['total']} {record['phase']}"
+                + (f" {rate:.2f}/s" if rate else "")
+            )
+    return "\n".join(lines)

@@ -16,6 +16,14 @@ package makes those campaigns cheap to re-run and safe to interrupt:
 - :mod:`repro.store.chaos` -- deterministic fault injection (hangs,
   transient exceptions, worker-killing crashes) wrapped around the
   scheduler's ``run_fn``, proving the recovery paths above in CI.
+- :mod:`repro.store.index` -- the manifest index: condition axes ->
+  fingerprints with predicate filtering
+  (``StoreIndex.open(store).select(cca="bbr", capacity=25)``), cached
+  at ``<store>/index.json`` and invalidated off the manifest stamp.
+- :mod:`repro.store.heartbeat` -- live campaign telemetry: the
+  scheduler appends progress snapshots to
+  ``<store>/campaigns/<id>/heartbeat.jsonl`` so a long sweep is
+  observable from another terminal (``repro-gsnet status``).
 
 :class:`~repro.experiments.campaign.Campaign` drives the scheduler; the
 ``repro-gsnet campaign`` (``--timeout``/``--chaos``) and ``repro-gsnet
@@ -28,6 +36,8 @@ from repro.store.fingerprint import (
     canonical_json,
     config_fingerprint,
 )
+from repro.store.heartbeat import CampaignHeartbeat, last_heartbeat, load_heartbeat
+from repro.store.index import StoreIndex, parse_where
 from repro.store.runstore import RunStore, StoreVersionError
 from repro.store.scheduler import (
     CampaignError,
@@ -40,6 +50,7 @@ from repro.store.scheduler import (
 
 __all__ = [
     "CampaignError",
+    "CampaignHeartbeat",
     "CampaignReport",
     "CampaignScheduler",
     "ChaosFault",
@@ -49,8 +60,12 @@ __all__ = [
     "RunStore",
     "RunTimeout",
     "STORE_FORMAT_VERSION",
+    "StoreIndex",
     "StoreVersionError",
     "WorkerCrash",
     "canonical_json",
     "config_fingerprint",
+    "last_heartbeat",
+    "load_heartbeat",
+    "parse_where",
 ]

@@ -148,8 +148,15 @@ class RunStore:
             fh.flush()
             os.fsync(fh.fileno())
 
-    def ls(self) -> list[dict]:
-        """Manifest entries, deduplicated by fingerprint (last put wins)."""
+    def ls(self, stat: bool = False) -> list[dict]:
+        """Manifest entries, deduplicated by fingerprint (last put wins).
+
+        With ``stat=True`` each entry additionally carries the on-disk
+        ``size_bytes`` (meta + arrays) and ``mtime`` (latest of the two
+        files, epoch seconds) of its object -- the machine-readable
+        listing ``store ls --json`` and the
+        :class:`~repro.store.index.StoreIndex` cache share.
+        """
         if not self.manifest_path.exists():
             return []
         entries: dict[str, dict] = {}
@@ -161,7 +168,26 @@ class RunStore:
             except ValueError:
                 continue  # torn final line from a crash mid-append
             entries[entry["fp"]] = entry
-        return list(entries.values())
+        listed = list(entries.values())
+        if stat:
+            for entry in listed:
+                entry.update(self.stat_fp(entry["fp"]))
+        return listed
+
+    def stat_fp(self, fp: str) -> dict:
+        """On-disk footprint of one object: total bytes and last mtime."""
+        size = 0
+        mtime = 0.0
+        obj = self._object_dir(fp)
+        for name in ("meta.json", "arrays.npz"):
+            try:
+                st = (obj / name).stat()
+            except OSError:
+                continue  # manifest entry whose object was removed
+            size += st.st_size
+            if st.st_mtime > mtime:
+                mtime = st.st_mtime
+        return {"size_bytes": size, "mtime": mtime}
 
     def verify(self) -> list[str]:
         """Integrity report; an empty list means the store is sound.
@@ -262,6 +288,24 @@ class RunStore:
     # ------------------------------------------------------------------
     def checkpoint_path(self, campaign_id: str) -> Path:
         return self.campaigns / f"{campaign_id}.json"
+
+    def campaign_dir(self, campaign_id: str) -> Path:
+        """Per-campaign telemetry directory (heartbeat, future logs)."""
+        return self.campaigns / campaign_id
+
+    def heartbeat_path(self, campaign_id: str) -> Path:
+        """The campaign's live-progress JSONL stream."""
+        return self.campaign_dir(campaign_id) / "heartbeat.jsonl"
+
+    def campaign_ids(self) -> list[str]:
+        """Every campaign this store has seen (checkpoint or heartbeat)."""
+        ids = set()
+        for child in self.campaigns.iterdir():
+            if child.is_file() and child.suffix == ".json":
+                ids.add(child.stem)
+            elif child.is_dir():
+                ids.add(child.name)
+        return sorted(ids)
 
     def load_checkpoint(self, campaign_id: str) -> dict | None:
         path = self.checkpoint_path(campaign_id)

@@ -69,6 +69,7 @@ from repro.experiments.runner import RunTimeout, run_single
 from repro.obs.counters import CounterSet
 from repro.obs.trace import NULL_TRACER
 from repro.store.fingerprint import config_fingerprint
+from repro.store.heartbeat import CampaignHeartbeat
 
 __all__ = [
     "CampaignScheduler",
@@ -234,6 +235,11 @@ class CampaignScheduler:
             per dispatch.
         sleep: injection point for backoff delays.
         clock: injection point for the wall clock (monotonic seconds).
+        heartbeat_interval: minimum seconds between live-progress
+            records appended to the store's campaign heartbeat
+            (``<store>/campaigns/<id>/heartbeat.jsonl``; see
+            :mod:`repro.store.heartbeat`).  ``None`` disables the
+            heartbeat; without a store there is nowhere to write one.
     """
 
     def __init__(
@@ -253,6 +259,7 @@ class CampaignScheduler:
         run_fn=run_single,
         sleep=time.sleep,
         clock=time.monotonic,
+        heartbeat_interval: float | None = 1.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -262,6 +269,10 @@ class CampaignScheduler:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if backoff_base < 0 or backoff_cap < 0:
             raise ValueError("backoff delays must be >= 0")
+        if heartbeat_interval is not None and heartbeat_interval < 0:
+            raise ValueError(
+                f"heartbeat_interval must be >= 0, got {heartbeat_interval}"
+            )
         self.workers = workers
         self.store = store
         self.retries = retries
@@ -277,6 +288,7 @@ class CampaignScheduler:
         self.run_fn = run_fn
         self._sleep = sleep
         self._clock = clock
+        self.heartbeat_interval = heartbeat_interval
         self._run_kwargs = _supported_kwargs(run_fn)
         self.counters = CounterSet()
         self._seq = 0
@@ -292,6 +304,7 @@ class CampaignScheduler:
         total = len(configs)
         done = 0
         state = self._load_checkpoint(report.campaign_id, total)
+        heartbeat = self._open_heartbeat(report.campaign_id, total)
 
         # Phase 1: serve whatever the store already has.
         pending: list[_Pending] = []
@@ -306,6 +319,8 @@ class CampaignScheduler:
                 if self.on_result is not None:
                     self.on_result(cached, done, total, True)
                 report.results.append(cached)
+                if heartbeat is not None:
+                    heartbeat.beat(done, self.counters)
             elif (
                 self.resume
                 and state is not None
@@ -327,6 +342,8 @@ class CampaignScheduler:
                 )
                 self.counters.inc("sched.failures")
                 self._emit("sched.skip_failed", fp=fp, label=config.label)
+                if heartbeat is not None:
+                    heartbeat.beat(done, self.counters)
             else:
                 self.counters.inc("store.misses")
                 self._emit("store.miss", fp=fp, label=config.label)
@@ -338,6 +355,8 @@ class CampaignScheduler:
             try:
                 for item, result, error in backend(pending):
                     done += 1
+                    if heartbeat is not None:
+                        heartbeat.beat(done, self.counters)
                     if result is not None:
                         report.executed += 1
                         self.counters.inc("sched.executed")
@@ -380,6 +399,10 @@ class CampaignScheduler:
                     state, report.campaign_id,
                     interrupted=True, abandoned=report.abandoned,
                 )
+            except CampaignError:
+                if heartbeat is not None:
+                    heartbeat.finish(done, self.counters, phase="failed")
+                raise
             else:
                 # A clean pass clears any stale interrupt marks left by
                 # an earlier aborted invocation of the same campaign.
@@ -393,6 +416,11 @@ class CampaignScheduler:
         report.retries = self.counters.get("sched.retries")
         report.timeouts = self.counters.get("sched.timeouts")
         report.pool_breaks = self.counters.get("sched.pool_breaks")
+        if heartbeat is not None:
+            heartbeat.finish(
+                done, self.counters,
+                phase="interrupted" if report.interrupted else "done",
+            )
         return report
 
     # ------------------------------------------------------------------
@@ -718,6 +746,24 @@ class CampaignScheduler:
     # ------------------------------------------------------------------
     # Store / checkpoint / trace plumbing
     # ------------------------------------------------------------------
+    def _open_heartbeat(self, cid: str, total: int):
+        """The campaign's live-telemetry writer, when a store can host one.
+
+        Heartbeats need an on-disk home (tests substituting bare fake
+        stores have none) and are disabled with
+        ``heartbeat_interval=None``.
+        """
+        if (
+            self.store is None
+            or self.heartbeat_interval is None
+            or not hasattr(self.store, "heartbeat_path")
+        ):
+            return None
+        return CampaignHeartbeat(
+            self.store, cid, total,
+            interval_s=self.heartbeat_interval, clock=self._clock,
+        )
+
     def _lookup(self, config, fp: str):
         if self.store is None or not self.use_cache:
             return None

@@ -26,6 +26,7 @@ def test_registry_holds_the_documented_inventory():
         "multiflow-stress",
         "campaign-slice",
         "campaign-chaos",
+        "report-sweep",
     ]
     for name in scenario_names():
         scenario = SCENARIOS[name]
@@ -82,3 +83,17 @@ def test_solo_stream_has_no_pool_counters():
 def test_campaign_slice_reports_runs_not_events():
     counters = get_scenario("campaign-slice").run(scale=0.05)
     assert counters == {"runs": 4, "executed": 4, "cache_hits": 0}
+
+
+def test_report_sweep_aggregates_the_synthetic_store():
+    # scale 0.12 -> one seed per condition: the full 54-condition grid
+    # with 54 stored runs, none simulated, none skipped.
+    counters = get_scenario("report-sweep").run(scale=0.12)
+    assert counters["runs_aggregated"] == 54
+    assert counters["conditions"] == 54
+    assert counters["selected_contended"] == 36  # cubic + bbr conditions
+    assert counters["skipped"] == 0
+
+    # The store is a cached fixture: a second run re-reads it, and the
+    # workload (index rebuild + aggregation) stays deterministic.
+    assert get_scenario("report-sweep").run(scale=0.12) == counters

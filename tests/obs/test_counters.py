@@ -1,0 +1,103 @@
+"""Tests for CounterSet, in particular merge semantics across workers."""
+
+import pytest
+
+from repro.obs.counters import CounterSet
+
+
+def _bag(**counts) -> CounterSet:
+    counters = CounterSet()
+    for name, by in counts.items():
+        counters.inc(name, by)
+    return counters
+
+
+class TestBasics:
+    def test_inc_and_get(self):
+        counters = CounterSet()
+        counters.inc("a")
+        counters.inc("a", 4)
+        assert counters.get("a") == 5
+        assert counters.get("missing") == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="only go up"):
+            CounterSet().inc("a", -1)
+
+    def test_to_dict_sorted(self):
+        counters = _bag(b=2, a=1)
+        assert list(counters.to_dict()) == ["a", "b"]
+
+
+class TestMerge:
+    def test_sums_per_name(self):
+        merged = _bag(hits=3, misses=1).merge(_bag(hits=2, retries=5))
+        assert merged.to_dict() == {"hits": 5, "misses": 1, "retries": 5}
+
+    def test_merge_returns_self_for_chaining(self):
+        base = CounterSet()
+        assert base.merge(_bag(a=1)).merge(_bag(b=2)) is base
+        assert base.to_dict() == {"a": 1, "b": 2}
+
+    def test_accepts_plain_dicts(self):
+        merged = _bag(a=1).merge({"a": 2, "b": 3})
+        assert merged.get("a") == 3
+        assert merged.get("b") == 3
+
+    def test_merge_empty_is_identity(self):
+        base = _bag(a=1)
+        base.merge(CounterSet())
+        base.merge({})
+        assert base.to_dict() == {"a": 1}
+
+    def test_merge_rejects_negative_entries(self):
+        base = _bag(a=5)
+        with pytest.raises(ValueError, match="only go up"):
+            base.merge({"a": -2})
+        # Monotonicity held: the failed merge changed nothing downward.
+        assert base.get("a") == 5
+
+    def test_commutative_and_associative(self):
+        """Worker counters roll up identically in any merge order."""
+        workers = [
+            _bag(**{"store.hits": 2, "sched.executed": 3}),
+            _bag(**{"sched.executed": 1, "sched.retries": 4}),
+            _bag(**{"store.hits": 1, "sched.timeouts": 2}),
+        ]
+
+        def rollup(order):
+            total = CounterSet()
+            for i in order:
+                total.merge(workers[i])
+            return total.to_dict()
+
+        baseline = rollup([0, 1, 2])
+        assert rollup([2, 1, 0]) == baseline
+        assert rollup([1, 0, 2]) == baseline
+
+    def test_scheduler_worker_rollup_matches_campaign_totals(self, tmp_path):
+        """Per-worker scheduler counters merge to campaign-wide totals
+        (the path the campaign heartbeat reports)."""
+        from repro.store import CampaignScheduler, RunStore
+
+        from tests.store.test_runstore import make_config, make_result
+
+        store = RunStore(tmp_path / "store")
+        configs = [make_config(seed=s) for s in range(4)]
+        # Two "workers" each run a disjoint half of the campaign.
+        first = CampaignScheduler(store=store, run_fn=make_result)
+        first.run(configs[:2])
+        second = CampaignScheduler(store=store, run_fn=make_result)
+        second.run(configs[2:])
+
+        merged = CounterSet()
+        merged.merge(first.counters).merge(second.counters)
+        assert merged.get("sched.executed") == 4
+        assert merged.get("store.misses") == 4
+
+        # A full rerun is all cache hits; merging it in only adds.
+        third = CampaignScheduler(store=store, run_fn=make_result)
+        third.run(configs)
+        merged.merge(third.counters)
+        assert merged.get("store.hits") == 4
+        assert merged.get("sched.executed") == 4

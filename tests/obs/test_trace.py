@@ -1,11 +1,13 @@
 """Tests for the tracepoint bus and its sinks."""
 
+import gzip
 import io
 import json
 import math
 
 import pytest
 
+from repro.obs.inspect import load_trace
 from repro.obs.trace import NULL_TRACER, JsonlSink, MemorySink, Tracer
 
 
@@ -96,6 +98,66 @@ def test_jsonl_sink_scrubs_non_finite_floats():
     record = json.loads(buffer.getvalue())
     assert record["ssthresh"] is None
     assert record["x"] is None
+
+
+class TestGzipSink:
+    def test_gz_path_writes_valid_gzip(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        sink = JsonlSink(str(path))
+        sink.write({"t": 0.0, "ev": "a"})
+        sink.write({"t": 1.0, "ev": "b"})
+        sink.close()
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        assert [json.loads(line)["ev"] for line in lines] == ["a", "b"]
+
+    def test_load_trace_reads_gzip_transparently(self, tmp_path):
+        plain, packed = tmp_path / "t.jsonl", tmp_path / "t.jsonl.gz"
+        for target in (str(plain), str(packed)):
+            sink = JsonlSink(target)
+            sink.write({"t": 0.5, "ev": "queue.drop", "flow": "iperf"})
+            sink.close()
+        assert load_trace(plain) == load_trace(packed)
+
+    def test_load_trace_sniffs_magic_not_suffix(self, tmp_path):
+        # A renamed .gz capture (no suffix) still loads.
+        packed = tmp_path / "t.jsonl.gz"
+        sink = JsonlSink(str(packed))
+        sink.write({"t": 0.0, "ev": "x"})
+        sink.close()
+        renamed = tmp_path / "renamed.jsonl"
+        renamed.write_bytes(packed.read_bytes())
+        assert load_trace(renamed) == [{"t": 0.0, "ev": "x"}]
+
+    def test_identical_streams_are_byte_identical(self, tmp_path):
+        """Gzip output must not embed wall-clock or path state, so the
+        determinism property (same config -> same trace file) survives
+        compression."""
+        paths = [tmp_path / "a" / "x.jsonl.gz", tmp_path / "b" / "y.jsonl.gz"]
+        for path in paths:
+            path.parent.mkdir()
+            sink = JsonlSink(str(path))
+            for i in range(50):
+                sink.write({"t": i * 0.1, "ev": "tcp.cwnd", "cwnd": float(i)})
+            sink.close()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_compresses(self, tmp_path):
+        plain, packed = tmp_path / "t.jsonl", tmp_path / "t.jsonl.gz"
+        for target in (str(plain), str(packed)):
+            sink = JsonlSink(target)
+            for i in range(2000):
+                sink.write({"t": i * 0.01, "ev": "queue.occupancy", "q": i % 7})
+            sink.close()
+        assert packed.stat().st_size < plain.stat().st_size / 5
+
+    def test_close_releases_the_raw_file(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl.gz"))
+        sink.write({"t": 0.0, "ev": "x"})
+        raw = sink._raw
+        sink.close()
+        assert raw.closed
+        assert sink._raw is None
 
 
 def test_memory_sink_by_event():

@@ -1,0 +1,85 @@
+"""Shared fixtures: a synthetic populated store shaped like a real sweep.
+
+Synthetic results follow the SMOKE timeline's structure -- full bitrate
+before the TCP arrival, a contention dip, recovery after departure --
+so windowed aggregates (fairness, response/recovery, RTT windows) are
+all well-defined without running a single simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import RunConfig, SMOKE
+from repro.experiments.results import RunResult
+from repro.store import RunStore
+
+
+def make_config(seed=0, **overrides):
+    base = dict(
+        system="stadia", capacity_bps=25e6, queue_mult=2.0,
+        cca="cubic", seed=seed, timeline=SMOKE,
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+def make_result(config) -> RunResult:
+    """A timeline-shaped synthetic result (deterministic per config)."""
+    timeline = config.timeline
+    rng = np.random.default_rng(config.seed + hash(config.cca or "") % 1000)
+    times = np.arange(
+        timeline.bin_width / 2, timeline.end, timeline.bin_width
+    )
+    high = 20e6
+    low = 12e6 if config.cca else high
+    game = np.where(
+        (times >= timeline.iperf_start) & (times < timeline.iperf_stop),
+        low, high,
+    ).astype(float)
+    game += rng.normal(0.0, 2e5, times.size)
+    iperf = np.where(
+        (times >= timeline.iperf_start) & (times < timeline.iperf_stop),
+        8e6 if config.cca else 0.0, 0.0,
+    ).astype(float)
+    rtt_t = np.linspace(1.0, timeline.end - 1.0, 50)
+    rtt_v = rng.uniform(0.02, 0.05, 50) + (0.01 if config.cca else 0.0)
+    return RunResult(
+        system=config.system,
+        cca=config.cca,
+        capacity_bps=config.capacity_bps,
+        queue_mult=config.queue_mult,
+        seed=config.seed,
+        timeline_scale=timeline.scale,
+        times=times,
+        game_bps=game,
+        iperf_bps=iperf,
+        baseline_bps=high,
+        fairness_game_bps=low,
+        fairness_iperf_bps=8e6 if config.cca else 0.0,
+        solo_bps=high,
+        rtt_samples=np.column_stack([rtt_t, rtt_v]),
+        game_loss_rate=0.02 if config.cca else 0.002,
+        displayed_fps_contention=50.0 if config.cca else 58.0,
+        displayed_fps_solo=60.0,
+        frames_displayed=500,
+        frames_dropped=4,
+        qdisc=config.qdisc,
+        wall_time_s=1.0,
+    )
+
+
+#: The sweep grid the seeded store holds: 3 conditions x 2 seeds.
+GRID = [
+    dict(cca="cubic", seed=0), dict(cca="cubic", seed=1),
+    dict(cca="bbr", seed=0), dict(cca="bbr", seed=1),
+    dict(cca=None, seed=0), dict(cca=None, seed=1),
+]
+
+
+@pytest.fixture
+def seeded_store(tmp_path):
+    store = RunStore(tmp_path / "store")
+    for spec in GRID:
+        config = make_config(**spec)
+        store.put(config, make_result(config))
+    return store

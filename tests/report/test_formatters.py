@@ -1,0 +1,116 @@
+"""Tests for the formatter registry and the built-in emitters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.report import (
+    aggregate_store,
+    formatter_names,
+    get_formatter,
+    register_formatter,
+)
+from repro.report.formatters import _REGISTRY
+
+
+@pytest.fixture
+def report(seeded_store):
+    return aggregate_store(seeded_store)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = formatter_names()
+        for expected in ("table", "csv", "json", "markdown", "figures"):
+            assert expected in names
+
+    def test_unknown_format_names_options(self):
+        with pytest.raises(ValueError, match="options: .*csv"):
+            get_formatter("xml")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_formatter("csv")(lambda report: {})
+
+    def test_custom_formatter_round_trip(self, report):
+        @register_formatter("test-count", description="run count only")
+        def fmt(rep):
+            return {"count.txt": f"{rep.total_runs}\n"}
+
+        try:
+            files = get_formatter("test-count")(report)
+            assert files == {"count.txt": "6\n"}
+        finally:
+            del _REGISTRY["test-count"]
+
+
+class TestBuiltinFormats:
+    def test_table_lists_every_condition(self, report):
+        files = get_formatter("table")(report)
+        text = files["report.txt"]
+        assert "6 runs, 3 conditions" in text
+        assert text.count("stadia") == 3
+        assert "solo" in text and "cubic" in text and "bbr" in text
+
+    def test_csv_parses_and_covers_conditions(self, report):
+        files = get_formatter("csv")(report)
+        rows = list(csv.DictReader(io.StringIO(files["conditions.csv"])))
+        assert len(rows) == 3
+        by_cca = {row["cca"]: row for row in rows}
+        assert float(by_cca["cubic"]["fairness"]) == pytest.approx(0.16)
+        assert by_cca["solo"]["fairness"] == ""  # no competitor, no ratio
+
+    def test_json_round_trips(self, report):
+        files = get_formatter("json")(report)
+        payload = json.loads(files["report.json"])
+        assert payload["runs"] == 6
+        assert len(payload["conditions"]) == 3
+
+    def test_markdown_is_a_pipe_table(self, report):
+        text = get_formatter("markdown")(report)["report.md"]
+        lines = text.splitlines()
+        table_lines = [line for line in lines if line.startswith("|")]
+        assert len(table_lines) == 2 + 3  # header + separator + conditions
+
+    def test_figures_emits_the_paper_set(self, report):
+        files = get_formatter("figures")(report)
+        assert set(files) == {
+            "figure2_bitrate.txt",
+            "figure3_fairness.txt",
+            "figure4_adaptiveness.txt",
+            "table3_4_rtt.txt",
+            "table5_framerate.txt",
+        }
+        assert "fairness ratio" in files["figure3_fairness.txt"]
+        assert "adaptiveness" in files["figure4_adaptiveness.txt"]
+
+    def test_figures_solo_only_drops_contention_figures(self, seeded_store):
+        report = aggregate_store(seeded_store, where={"cca": "solo"})
+        files = get_formatter("figures")(report)
+        assert "figure3_fairness.txt" not in files
+        assert "figure4_adaptiveness.txt" not in files
+        assert "figure2_bitrate.txt" in files
+
+    def test_figures_empty_report_placeholder(self, tmp_path):
+        from repro.store import RunStore
+
+        report = aggregate_store(RunStore(tmp_path / "empty"))
+        files = get_formatter("figures")(report)
+        assert files == {"figures_empty.txt": "no runs matched; nothing to render\n"}
+
+    def test_metric_formats_work_without_bands(self, seeded_store):
+        report = aggregate_store(seeded_store, keep_bands=False)
+        for name in ("table", "csv", "json", "markdown"):
+            files = get_formatter(name)(report)
+            assert files  # no formatter touches the band accumulators
+
+    def test_skipped_entries_surface_in_table(self, seeded_store):
+        import shutil
+
+        entry = seeded_store.ls()[0]
+        shutil.rmtree(seeded_store._object_dir(entry["fp"]))
+        report = aggregate_store(seeded_store)
+        text = get_formatter("table")(report)["report.txt"]
+        assert "skipped 1 manifest entries" in text

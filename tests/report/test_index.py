@@ -1,0 +1,149 @@
+"""Tests for the manifest index: predicates, aliases, cache invalidation."""
+
+import json
+
+import pytest
+
+from repro.store import StoreIndex, parse_where
+
+from tests.report.conftest import make_config, make_result
+
+
+class TestSelect:
+    def test_build_indexes_every_run(self, seeded_store):
+        index = StoreIndex.build(seeded_store)
+        assert len(index) == 6
+
+    def test_axis_predicate(self, seeded_store):
+        index = StoreIndex.build(seeded_store)
+        bbr = index.select(cca="bbr")
+        assert len(bbr) == 2
+        assert all(entry["cca"] == "bbr" for entry in bbr)
+
+    def test_capacity_alias_takes_mbps(self, seeded_store):
+        index = StoreIndex.build(seeded_store)
+        assert len(index.select(capacity=25)) == 6
+        assert index.select(capacity=35) == []
+
+    def test_solo_means_no_competitor(self, seeded_store):
+        index = StoreIndex.build(seeded_store)
+        for spelled in ("solo", "none", "SOLO"):
+            solo = index.select(cca=spelled)
+            assert len(solo) == 2
+            assert all(entry["cca"] is None for entry in solo)
+
+    def test_any_of_lists(self, seeded_store):
+        index = StoreIndex.build(seeded_store)
+        assert len(index.select(cca=["cubic", "bbr"])) == 4
+        assert len(index.select(cca=["cubic", "bbr"], seed=0)) == 2
+
+    def test_conjunction_across_axes(self, seeded_store):
+        index = StoreIndex.build(seeded_store)
+        picked = index.select(cca="cubic", seed=1)
+        assert len(picked) == 1
+        assert picked[0]["seed"] == 1
+
+    def test_no_predicates_returns_everything(self, seeded_store):
+        index = StoreIndex.build(seeded_store)
+        assert len(index.select()) == 6
+
+    def test_unknown_axis_raises_with_options(self, seeded_store):
+        index = StoreIndex.build(seeded_store)
+        with pytest.raises(ValueError, match="unknown axis"):
+            index.select(nonsense=1)
+
+    def test_entries_carry_size_and_mtime(self, seeded_store):
+        index = StoreIndex.build(seeded_store)
+        for entry in index.entries:
+            assert entry["size_bytes"] > 0
+            assert entry["mtime"] > 0
+
+    def test_deterministic_order(self, seeded_store):
+        first = StoreIndex.build(seeded_store)
+        second = StoreIndex.build(seeded_store)
+        assert [e["fp"] for e in first.entries] == [
+            e["fp"] for e in second.entries
+        ]
+
+    def test_axes_catalog(self, seeded_store):
+        catalog = StoreIndex.build(seeded_store).axes()
+        assert catalog["cca"] == ["bbr", "cubic", None]
+        assert catalog["seed"] == [0.0, 1.0]
+
+
+class TestCache:
+    def test_open_writes_cache_file(self, seeded_store):
+        StoreIndex.open(seeded_store)
+        cache = StoreIndex.cache_path(seeded_store)
+        assert cache.exists()
+        payload = json.loads(cache.read_text())
+        assert len(payload["entries"]) == 6
+
+    def test_second_open_serves_cache_without_stat_walk(
+        self, seeded_store, monkeypatch
+    ):
+        StoreIndex.open(seeded_store)
+
+        def must_not_build(store):
+            raise AssertionError("cache should have served this open")
+
+        monkeypatch.setattr(StoreIndex, "build", must_not_build)
+        index = StoreIndex.open(seeded_store)
+        assert len(index) == 6
+
+    def test_put_invalidates_cache(self, seeded_store):
+        StoreIndex.open(seeded_store)
+        config = make_config(cca="bbr", seed=9)
+        seeded_store.put(config, make_result(config))
+        index = StoreIndex.open(seeded_store)
+        assert len(index) == 7
+
+    def test_corrupt_cache_rebuilds(self, seeded_store):
+        StoreIndex.open(seeded_store)
+        StoreIndex.cache_path(seeded_store).write_text("{not json")
+        assert len(StoreIndex.open(seeded_store)) == 6
+
+    def test_rebuild_flag_bypasses_cache(self, seeded_store):
+        StoreIndex.open(seeded_store)
+        # Poison the cache with a valid-looking but wrong entry list;
+        # rebuild must ignore it even though the stamp still matches.
+        cache = StoreIndex.cache_path(seeded_store)
+        payload = json.loads(cache.read_text())
+        payload["entries"] = payload["entries"][:1]
+        cache.write_text(json.dumps(payload))
+        assert len(StoreIndex.open(seeded_store)) == 1
+        assert len(StoreIndex.open(seeded_store, rebuild=True)) == 6
+
+    def test_empty_store_indexes_empty(self, tmp_path):
+        from repro.store import RunStore
+
+        store = RunStore(tmp_path / "empty")
+        assert len(StoreIndex.open(store)) == 0
+
+
+class TestParseWhere:
+    def test_coerces_numbers(self):
+        assert parse_where(["capacity=25", "cca=bbr"]) == {
+            "capacity": 25, "cca": "bbr",
+        }
+
+    def test_comma_list_means_any_of(self):
+        assert parse_where(["system=stadia,luna"]) == {
+            "system": ["stadia", "luna"]
+        }
+
+    def test_repeated_key_merges(self):
+        assert parse_where(["seed=0", "seed=1"]) == {"seed": [0, 1]}
+
+    def test_none_is_empty(self):
+        assert parse_where(None) == {}
+
+    @pytest.mark.parametrize("clause", ["nokey", "=value", "key=", " =x"])
+    def test_bad_clause_raises(self, clause):
+        with pytest.raises(ValueError, match="bad --where clause"):
+            parse_where([clause])
+
+    def test_roundtrip_through_select(self, seeded_store):
+        index = StoreIndex.build(seeded_store)
+        where = parse_where(["cca=cubic,bbr", "capacity=25"])
+        assert len(index.select(**where)) == 4

@@ -1,0 +1,77 @@
+"""Tests for the status view over heartbeat streams."""
+
+import pytest
+
+from repro.obs.counters import CounterSet
+from repro.report import campaign_status, render_status
+from repro.report.status import render_progress_bar
+from repro.store import CampaignHeartbeat, RunStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+def _write_heartbeat(store, campaign_id="cafe01", beats=3, total=10):
+    clock = iter(float(i) for i in range(100))
+    hb = CampaignHeartbeat(
+        store, campaign_id, total=total, interval_s=0.0,
+        clock=lambda: next(clock), wall=lambda: 1000.0,
+    )
+    counters = CounterSet()
+    for done in range(1, beats):
+        counters.inc("store.hits")
+        hb.beat(done, counters)
+    hb.finish(beats, counters)
+    return hb
+
+
+class TestCampaignStatus:
+    def test_none_without_heartbeat(self, store):
+        assert campaign_status(store, "nothing") is None
+
+    def test_last_record_wins(self, store):
+        _write_heartbeat(store, beats=3)
+        status = campaign_status(store, "cafe01")
+        assert status["last"]["phase"] == "done"
+        assert status["last"]["done"] == 3
+        assert len(status["records"]) == 3
+
+    def test_render_contains_progress_and_counters(self, store):
+        _write_heartbeat(store, beats=3, total=10)
+        text = render_status(campaign_status(store, "cafe01"))
+        assert "campaign cafe01: done" in text
+        assert "3/10 (30%)" in text
+        assert "cache hits 2" in text
+        assert "[" in text and "#" in text
+
+    def test_render_history_trail(self, store):
+        _write_heartbeat(store, beats=3)
+        text = render_status(campaign_status(store, "cafe01"), history=2)
+        assert "trail:" in text
+        assert text.count("\n    #") == 2
+
+    def test_running_phase_shows_eta(self, store):
+        clock = iter([0.0, 10.0])
+        hb = CampaignHeartbeat(
+            store, "run01", total=10, interval_s=0.0,
+            clock=lambda: next(clock), wall=lambda: 0.0,
+        )
+        hb.beat(5, CounterSet())
+        hb.close()
+        text = render_status(campaign_status(store, "run01"))
+        assert "eta" in text
+
+
+class TestProgressBar:
+    def test_proportional_fill(self):
+        bar = render_progress_bar(5, 10, width=10)
+        assert bar == "[#####.....]"
+
+    def test_full_and_empty(self):
+        assert render_progress_bar(10, 10, width=4) == "[####]"
+        assert render_progress_bar(0, 10, width=4) == "[....]"
+
+    def test_zero_total_is_unknown(self):
+        assert "?" in render_progress_bar(0, 0, width=4)

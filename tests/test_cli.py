@@ -246,3 +246,119 @@ def test_run_trace_metrics_profile_round_trip(tmp_path, capsys):
     assert summary["events"] == len(lines)
     assert summary["config"]["system"] == "stadia"
 
+
+@pytest.fixture(scope="module")
+def report_store(tmp_path_factory):
+    """A small store with one contended and one solo condition."""
+    store = str(tmp_path_factory.mktemp("cli-report") / "store")
+    rc = main(["campaign", "--systems", "luna", "--ccas", "solo", "cubic",
+               "--capacities", "25", "--queues", "2", "--iterations", "1",
+               "--profile", "smoke", "--store", store, "--json"])
+    assert rc == 0
+    return store
+
+
+def test_report_table_format(report_store, capsys):
+    assert main(["report", report_store]) == 0
+    out = capsys.readouterr().out
+    assert "2 runs, 2 conditions" in out
+    assert "luna" in out and "cubic" in out and "solo" in out
+
+
+def test_report_every_registered_format(report_store, capsys):
+    from repro.report import formatter_names
+
+    for fmt in formatter_names():
+        assert main(["report", report_store, "--format", fmt]) == 0, fmt
+        assert capsys.readouterr().out
+
+
+def test_report_csv_and_json_parse(report_store, capsys):
+    assert main(["report", report_store, "--format", "csv"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 3  # header + 2 conditions
+    assert lines[0].startswith("system,cca,")
+
+    assert main(["report", report_store, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runs"] == 2
+    assert len(payload["conditions"]) == 2
+
+
+def test_report_where_filters(report_store, capsys):
+    rc = main(["report", report_store, "--where", "cca=solo",
+               "--format", "json"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload["runs"] == 1
+    assert payload["conditions"][0]["cca"] is None
+
+    rc = main(["report", report_store, "--where", "cca=reno",
+               "--format", "json"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out)["runs"] == 0
+    assert "no stored runs matched" in captured.err
+
+
+def test_report_bad_where_clause(report_store, capsys):
+    assert main(["report", report_store, "--where", "nonsense"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_report_figures_to_directory(report_store, tmp_path, capsys):
+    out_dir = tmp_path / "figs"
+    rc = main(["report", report_store, "--format", "figures",
+               "-o", str(out_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    written = sorted(p.name for p in out_dir.iterdir())
+    assert "figure2_bitrate.txt" in written
+    assert "figure3_fairness.txt" in written
+    assert out.count("wrote ") == len(written)
+
+
+def test_report_missing_store(tmp_path, capsys):
+    missing = tmp_path / "absent" / "store"
+    assert main(["report", str(missing), "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out)["runs"] == 0
+
+
+def test_status_after_campaign(report_store, capsys):
+    assert main(["status", report_store]) == 0
+    out = capsys.readouterr().out
+    assert "campaign " in out and ": done" in out
+    assert "2/2 (100%)" in out
+
+    assert main(["status", report_store, "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert len(records) == 1
+    assert records[0]["phase"] == "done"
+    assert records[0]["done"] == records[0]["total"] == 2
+
+
+def test_status_without_heartbeat(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    from repro.store import RunStore
+
+    RunStore(store)  # exists but has no campaigns
+    assert main(["status", store]) == 1
+    assert "no heartbeat recorded" in capsys.readouterr().out
+    assert main(["status", store, "--json"]) == 1
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_status_unknown_campaign(report_store, capsys):
+    assert main(["status", report_store, "--campaign", "feedface"]) == 1
+    assert "feedface" in capsys.readouterr().out
+
+
+def test_store_ls_json_carries_stat_fields(report_store, capsys):
+    assert main(["store", "ls", report_store, "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert len(entries) == 2
+    for entry in entries:
+        assert entry["size_bytes"] > 0
+        assert entry["mtime"] > 0
+
