@@ -28,6 +28,10 @@ Scenario inventory:
 ``campaign-chaos``     the same four runs under deterministic fault
                        injection (every first attempt raises; measures
                        the retry/recovery machinery, not the simulator)
+``dist-slice``         the same four runs through the distributed
+                       fabric: coordinator enqueue, two workers into
+                       separate stores, merge (queue + lease + merge
+                       overhead on top of campaign-slice)
 ``report-sweep``       index build + full-sweep aggregation over a
                        synthetic ~500-run store (the report read path;
                        no simulation at all)
@@ -280,6 +284,44 @@ def _campaign_chaos(scale: float) -> dict:
             "executed": report.executed,
             "retries": report.retries,
             "failures": len(report.failures),
+        }
+
+
+@register("dist-slice", "four-run campaign sharded over two workers, then merged")
+def _dist_slice(scale: float) -> dict:
+    from repro.dist import Coordinator, DistWorker
+    from repro.store.sync import merge_stores
+
+    timeline = Timeline(scale=_TESTBED_TIMELINE_SCALE * scale)
+    configs = [
+        RunConfig(
+            system="luna",
+            capacity_bps=25e6,
+            queue_mult=queue,
+            cca="cubic",
+            seed=seed,
+            timeline=timeline,
+        )
+        for queue in (0.5, 2.0)
+        for seed in (0, 1)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-dist-") as tmp:
+        # The full distributed lifecycle, in-process and sequential so
+        # the number measures fabric overhead (queue files, leases,
+        # completion records, merge) rather than parallel speedup: the
+        # delta over campaign-slice is the price of distribution.
+        coord = RunStore(f"{tmp}/coord")
+        Coordinator(coord, shard_size=1).enqueue(configs)
+        stores = [RunStore(f"{tmp}/w1"), RunStore(f"{tmp}/w2")]
+        first = DistWorker(coord, store=stores[0], worker_id="bench-w1",
+                           max_shards=2).run()
+        second = DistWorker(coord, store=stores[1], worker_id="bench-w2").run()
+        copied = sum(merge_stores(coord, s).copied for s in stores)
+        return {
+            "runs": len(configs),
+            "executed": first.executed + second.executed,
+            "shards": first.shards_done + second.shards_done,
+            "merged": copied,
         }
 
 

@@ -29,6 +29,18 @@ Examples::
     repro-gsnet store verify runs/
     repro-gsnet store gc runs/
 
+    # Distribute a campaign across worker processes (or hosts):
+    # terminal 1 enqueues shards and watches, terminals 2..N claim and
+    # run them into their own stores, merged back afterwards
+    repro-gsnet dist coordinate --systems luna --ccas cubic \
+        --capacities 25 --queues 2 --store runs/ --shard-size 4
+    repro-gsnet dist work runs/ --store w1/ --idle-exit 60
+    repro-gsnet store merge runs/ w1/ w2/
+
+    # Watch campaigns live over HTTP from anywhere
+    repro-gsnet dist serve runs/ --port 8765
+    repro-gsnet status --url localhost:8765
+
     # Aggregate stored runs into the paper's artefacts -- zero
     # simulations, any registered output format
     repro-gsnet report runs/ --where cca=bbr --where capacity=25
@@ -103,6 +115,55 @@ __all__ = ["main"]
 _TIMELINES = {"paper": PAPER, "quick": QUICK, "smoke": SMOKE}
 
 
+def _add_matrix_args(parser: argparse.ArgumentParser) -> None:
+    """The condition-matrix sweep arguments ``campaign`` and
+    ``dist coordinate`` share, so both expand the same grid to the same
+    fingerprints (the distributed acceptance criterion depends on it)."""
+    parser.add_argument(
+        "--systems", nargs="+", choices=sorted(SYSTEMS),
+        default=sorted(SYSTEMS), metavar="SYSTEM",
+    )
+    parser.add_argument(
+        "--ccas", nargs="+", choices=sorted(CCA_REGISTRY) + ["solo"],
+        default=["cubic", "bbr"], metavar="CCA",
+        help="competing flows to sweep ('solo' = no competitor)",
+    )
+    parser.add_argument(
+        "--capacities", nargs="+", type=float, default=[15.0, 25.0, 35.0],
+        metavar="MBPS", help="bottleneck capacities, Mb/s",
+    )
+    parser.add_argument(
+        "--queues", nargs="+", type=float, default=[0.5, 2.0, 7.0],
+        metavar="MULT", help="queue sizes, multiples of BDP",
+    )
+    parser.add_argument("--iterations", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed (iteration i adds i)")
+    parser.add_argument(
+        "--profile", choices=sorted(_TIMELINES), default="quick",
+    )
+
+
+def _matrix_configs(args: argparse.Namespace) -> list[RunConfig]:
+    """Expand the sweep grid into configs (same order as always)."""
+    timeline = _TIMELINES[args.profile]
+    return [
+        RunConfig(
+            system=system,
+            capacity_bps=capacity * 1e6,
+            queue_mult=queue,
+            cca=None if cca == "solo" else cca,
+            seed=args.seed + iteration,
+            timeline=timeline,
+        )
+        for iteration in range(args.iterations)
+        for cca in args.ccas
+        for capacity in args.capacities
+        for queue in args.queues
+        for system in args.systems
+    ]
+
+
 def _add_condition_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--system", choices=sorted(SYSTEMS), required=True)
     parser.add_argument(
@@ -162,29 +223,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="run a (resumable) grid of conditions against a run store",
     )
-    campaign_parser.add_argument(
-        "--systems", nargs="+", choices=sorted(SYSTEMS),
-        default=sorted(SYSTEMS), metavar="SYSTEM",
-    )
-    campaign_parser.add_argument(
-        "--ccas", nargs="+", choices=sorted(CCA_REGISTRY) + ["solo"],
-        default=["cubic", "bbr"], metavar="CCA",
-        help="competing flows to sweep ('solo' = no competitor)",
-    )
-    campaign_parser.add_argument(
-        "--capacities", nargs="+", type=float, default=[15.0, 25.0, 35.0],
-        metavar="MBPS", help="bottleneck capacities, Mb/s",
-    )
-    campaign_parser.add_argument(
-        "--queues", nargs="+", type=float, default=[0.5, 2.0, 7.0],
-        metavar="MULT", help="queue sizes, multiples of BDP",
-    )
-    campaign_parser.add_argument("--iterations", type=int, default=3)
-    campaign_parser.add_argument("--seed", type=int, default=0,
-                                 help="base seed (iteration i adds i)")
-    campaign_parser.add_argument(
-        "--profile", choices=sorted(_TIMELINES), default="quick",
-    )
+    _add_matrix_args(campaign_parser)
     campaign_parser.add_argument("--workers", type=int, default=1)
     campaign_parser.add_argument(
         "--store", metavar="DIR", default=None,
@@ -232,6 +271,130 @@ def _build_parser() -> argparse.ArgumentParser:
         store_cmd.add_argument("path", help="store directory")
         if name == "ls":
             store_cmd.add_argument("--json", action="store_true")
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="fold source stores into a destination (manifest-union, "
+             "object dedupe by fingerprint); exit 1 on conflicts",
+    )
+    store_merge.add_argument("dest", help="destination store (created if new)")
+    store_merge.add_argument("sources", nargs="+", metavar="SRC",
+                             help="source store directories")
+    store_merge.add_argument("--json", action="store_true")
+    for name, help_text in (
+        ("push", "merge the local store's objects into a remote root"),
+        ("pull", "merge a remote store's objects into the local store"),
+    ):
+        store_cmd = store_sub.add_parser(name, help=help_text)
+        store_cmd.add_argument("path", help="local store directory")
+        store_cmd.add_argument("remote", help="remote store root "
+                                              "(shared/mounted directory)")
+        store_cmd.add_argument("--json", action="store_true")
+
+    dist_parser = sub.add_parser(
+        "dist", help="distributed campaign fabric (coordinator/workers/service)"
+    )
+    dist_sub = dist_parser.add_subparsers(dest="dist_command", required=True)
+
+    dist_coord = dist_sub.add_parser(
+        "coordinate",
+        help="expand the matrix, dedupe against the store, enqueue "
+             "shards, and watch until workers drain the queue",
+    )
+    _add_matrix_args(dist_coord)
+    dist_coord.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="coordinator store (hosts the queue, heartbeat, and dedupe)",
+    )
+    dist_coord.add_argument(
+        "--shard-size", type=int, default=4, metavar="N",
+        help="runs per shard (the unit workers claim)",
+    )
+    dist_coord.add_argument(
+        "--ttl", type=float, default=60.0, metavar="SECONDS",
+        help="lease time-to-live; an unrenewed claim older than this "
+             "is stolen back to pending",
+    )
+    dist_coord.add_argument(
+        "--enqueue-only", action="store_true",
+        help="enqueue and exit instead of watching for convergence",
+    )
+    dist_coord.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="watch-loop poll interval",
+    )
+    dist_coord.add_argument(
+        "--watch-timeout", type=float, default=None, metavar="SECONDS",
+        help="give up watching after this long (queue is left intact)",
+    )
+    dist_coord.add_argument("--json", action="store_true")
+
+    dist_work = dist_sub.add_parser(
+        "work",
+        help="worker loop: claim shards from a coordinator store, run "
+             "them through the scheduler, renew leases, heartbeat",
+    )
+    dist_work.add_argument(
+        "queue_store",
+        help="coordinator store directory (where the shard queues live)",
+    )
+    dist_work.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="result store for this worker (default: the coordinator "
+             "store itself -- the shared-directory deployment)",
+    )
+    dist_work.add_argument(
+        "--campaign", metavar="ID", default=None,
+        help="serve only this campaign (default: all queues found)",
+    )
+    dist_work.add_argument(
+        "--worker-id", metavar="ID", default=None,
+        help="stable worker identity (default: <hostname>-<pid>)",
+    )
+    dist_work.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width per shard (the scheduler's workers)",
+    )
+    dist_work.add_argument("--retries", type=int, default=1)
+    dist_work.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget",
+    )
+    dist_work.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="deterministic fault injection (same spec as campaign)",
+    )
+    dist_work.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle delay between queue scans",
+    )
+    dist_work.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="stop after completing N shards",
+    )
+    dist_work.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="exit after this long with nothing claimable",
+    )
+    dist_work.add_argument(
+        "--keep-alive", action="store_true",
+        help="keep polling for new campaigns after the visible queues "
+             "drain (fleet-daemon mode)",
+    )
+    dist_work.add_argument(
+        "--chaos-kill-after", type=int, default=None, metavar="RUNS",
+        help="test hook: hard-exit the worker process after RUNS "
+             "completed runs (lease left to expire and be stolen)",
+    )
+    dist_work.add_argument("--json", action="store_true")
+
+    dist_serve = dist_sub.add_parser(
+        "serve",
+        help="publish a store's campaign heartbeats + queue state as a "
+             "JSON HTTP API (/status, /campaigns/<id>, /workers)",
+    )
+    dist_serve.add_argument("path", help="store directory")
+    dist_serve.add_argument("--host", default="127.0.0.1")
+    dist_serve.add_argument("--port", type=int, default=8765)
 
     report_parser = sub.add_parser(
         "report",
@@ -259,7 +422,15 @@ def _build_parser() -> argparse.ArgumentParser:
     status_parser = sub.add_parser(
         "status", help="show live campaign progress from the heartbeat stream"
     )
-    status_parser.add_argument("path", help="store directory")
+    status_parser.add_argument(
+        "path", nargs="?", default=None,
+        help="store directory (or use --url for a remote service)",
+    )
+    status_parser.add_argument(
+        "--url", metavar="URL", default=None,
+        help="read campaign state from a 'dist serve' endpoint instead "
+             "of a local store",
+    )
     status_parser.add_argument(
         "--campaign", metavar="ID", default=None,
         help="campaign id (default: every campaign with a heartbeat)",
@@ -468,22 +639,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    timeline = _TIMELINES[args.profile]
-    configs = [
-        RunConfig(
-            system=system,
-            capacity_bps=capacity * 1e6,
-            queue_mult=queue,
-            cca=None if cca == "solo" else cca,
-            seed=args.seed + iteration,
-            timeline=timeline,
-        )
-        for iteration in range(args.iterations)
-        for cca in args.ccas
-        for capacity in args.capacities
-        for queue in args.queues
-        for system in args.systems
-    ]
+    configs = _matrix_configs(args)
 
     try:
         store = RunStore(args.store) if args.store else None
@@ -567,7 +723,48 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _render_merge(label: str, report) -> str:
+    line = (f"{label}: {report.copied} copied | "
+            f"{report.duplicates} duplicate(s)")
+    if report.missing:
+        line += f" | {len(report.missing)} source object(s) missing"
+    if report.conflicts:
+        line += f" | {len(report.conflicts)} CONFLICT(S)"
+    return line
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
+    if args.store_command in ("merge", "push", "pull"):
+        from repro.store.sync import merge_stores, pull_store, push_store
+
+        try:
+            if args.store_command == "merge":
+                dest = RunStore(args.dest)
+                reports = [
+                    (src, merge_stores(dest, RunStore(src)))
+                    for src in args.sources
+                ]
+            elif args.store_command == "push":
+                reports = [(args.remote, push_store(RunStore(args.path), args.remote))]
+            else:
+                reports = [(args.remote, pull_store(RunStore(args.path), args.remote))]
+        except (OSError, ValueError, StoreVersionError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        conflicts = [fp for _, report in reports for fp in report.conflicts]
+        if getattr(args, "json", False):
+            print(json.dumps({
+                label: report.to_dict() for label, report in reports
+            }))
+        else:
+            for label, report in reports:
+                print(_render_merge(label, report))
+            for fp in conflicts:
+                print(f"  CONFLICT {fp}: source and destination hold "
+                      "different results for the same fingerprint "
+                      "(destination kept)", file=sys.stderr)
+        return 1 if conflicts else 0
+
     try:
         store = RunStore(args.path)
     except (OSError, ValueError, StoreVersionError) as exc:
@@ -705,18 +902,62 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_status(args: argparse.Namespace) -> int:
+def _remote_statuses(args: argparse.Namespace) -> list[dict] | None:
+    """Campaign statuses from a ``dist serve`` endpoint, or None on error.
+
+    Shaped like :func:`campaign_status` output so the local renderer
+    applies unchanged; ``--history`` pulls the per-campaign trail.
+    """
+    from repro.dist.service import fetch_campaign, fetch_status
+
     try:
-        store = RunStore(args.path)
-    except (OSError, ValueError, StoreVersionError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    ids = [args.campaign] if args.campaign else store.campaign_ids()
-    statuses = [
-        status
-        for status in (campaign_status(store, cid) for cid in ids)
-        if status is not None
+        snapshot = fetch_status(args.url)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.url}: {exc}", file=sys.stderr)
+        return None
+    campaigns = [
+        c for c in snapshot.get("campaigns", [])
+        if c.get("last") is not None
+        and (args.campaign is None or c["campaign_id"] == args.campaign)
     ]
+    statuses = []
+    for c in campaigns:
+        records = [c["last"]]
+        if args.history > 0:
+            try:
+                detail = fetch_campaign(args.url, c["campaign_id"])
+                records = detail.get("records") or records
+            except (OSError, ValueError):
+                pass  # trail is best-effort; the summary line still renders
+        statuses.append({
+            "campaign_id": c["campaign_id"], "last": c["last"],
+            "records": records,
+        })
+    return statuses
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if args.url is None and args.path is None:
+        print("error: give a store directory or --url", file=sys.stderr)
+        return 2
+    if args.url is not None:
+        statuses = _remote_statuses(args)
+        if statuses is None:
+            return 1
+        source = args.url
+    else:
+        try:
+            store = RunStore(args.path)
+        except (OSError, ValueError, StoreVersionError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        ids = [args.campaign] if args.campaign else store.campaign_ids()
+        statuses = [
+            status
+            for status in (campaign_status(store, cid) for cid in ids)
+            if status is not None
+        ]
+        source = args.path
     if args.json:
         print(json.dumps(
             [{"campaign_id": s["campaign_id"], **s["last"]} for s in statuses]
@@ -724,12 +965,164 @@ def _cmd_status(args: argparse.Namespace) -> int:
         return 0 if statuses else 1
     if not statuses:
         which = f"campaign {args.campaign}" if args.campaign else "any campaign"
-        print(f"no heartbeat recorded for {which} in {args.path}")
+        print(f"no heartbeat recorded for {which} in {source}")
         return 1
     for i, status in enumerate(statuses):
         if i:
             print()
         print(render_status(status, history=args.history))
+    return 0
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from repro.dist import Coordinator, DistWorker, WatchTimeout
+    from repro.dist.service import CampaignService
+
+    if args.dist_command == "coordinate":
+        if args.shard_size < 1:
+            print("error: --shard-size must be >= 1", file=sys.stderr)
+            return 2
+        try:
+            store = RunStore(args.store)
+        except (OSError, ValueError, StoreVersionError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        coordinator = Coordinator(
+            store, shard_size=args.shard_size, ttl_s=args.ttl
+        )
+        enq = coordinator.enqueue(_matrix_configs(args))
+        if not args.json:
+            verb = "enqueued" if enq.created else "attached to"
+            print(f"campaign {enq.campaign_id}: {verb} {enq.shards} shard(s) "
+                  f"({enq.enqueued} runs; {enq.cached}/{enq.total} pre-done "
+                  f"from cache) in {enq.queue_root}")
+        if args.enqueue_only:
+            if args.json:
+                print(json.dumps({"campaign_id": enq.campaign_id,
+                                  "total": enq.total, "cached": enq.cached,
+                                  "enqueued": enq.enqueued,
+                                  "shards": enq.shards,
+                                  "created": enq.created}))
+            return 0
+
+        seen = {}
+
+        def progress(status):
+            key = (len(status["pending"]), len(status["claimed"]),
+                   len(status["done"]), status["done_runs"])
+            if not args.json and seen.get("key") != key:
+                seen["key"] = key
+                done = status["cached_runs"] + status["done_runs"]
+                print(f"  [{done}/{status['total_runs']}] "
+                      f"{len(status['pending'])} pending / "
+                      f"{len(status['claimed'])} claimed / "
+                      f"{len(status['done'])} done shard(s)"
+                      + (f", stole {status['stolen_now']}"
+                         if status.get("stolen_now") else ""))
+
+        try:
+            final = coordinator.watch(
+                enq.campaign_id, poll_s=args.poll,
+                timeout_s=args.watch_timeout, progress=progress,
+            )
+        except WatchTimeout as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            print("\nwatch interrupted; the queue is intact -- re-run "
+                  "'dist coordinate' with the same matrix to reattach")
+            return 130
+        done = final["cached_runs"] + final["done_runs"]
+        if args.json:
+            print(json.dumps({"campaign_id": enq.campaign_id,
+                              "total": enq.total, "cached": enq.cached,
+                              "enqueued": enq.enqueued,
+                              "shards": enq.shards, "created": enq.created,
+                              "done_runs": done,
+                              "executed": final["executed"],
+                              "cache_hits": final["cache_hits"],
+                              "failed": final["failed"],
+                              "retries": final["retries"],
+                              "timeouts": final["timeouts"]}))
+        else:
+            print(f"campaign {enq.campaign_id}: converged, "
+                  f"{done}/{final['total_runs']} runs "
+                  f"({final['executed']} executed by workers, "
+                  f"{final['failed']} failed)")
+        return 1 if final["failed"] else 0
+
+    if args.dist_command == "work":
+        try:
+            coord_store = RunStore(args.queue_store)
+            store = RunStore(args.store) if args.store else coord_store
+        except (OSError, ValueError, StoreVersionError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        try:
+            worker = DistWorker(
+                coord_store,
+                store=store,
+                campaign=args.campaign,
+                worker_id=args.worker_id,
+                inner_workers=args.workers,
+                retries=args.retries,
+                timeout=args.timeout,
+                chaos=args.chaos,
+                poll_s=args.poll,
+                exit_when_done=not args.keep_alive,
+                max_shards=args.max_shards,
+                idle_timeout_s=args.idle_exit,
+                kill_after_runs=args.chaos_kill_after,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+        progress = None
+        if not args.json:
+            def progress(shard, shard_report, completed):
+                state = "done" if completed else "lost (stolen+finished)"
+                print(f"  shard {shard.id}: {state}, "
+                      f"{shard_report.executed} executed, "
+                      f"{shard_report.cache_hits} cached, "
+                      f"{len(shard_report.failures)} failed")
+            print(f"worker {worker.worker_id}: serving {args.queue_store} "
+                  f"-> {store.root}")
+        try:
+            report = worker.run(progress=progress)
+        except KeyboardInterrupt:
+            print("\nworker interrupted; unfinished leases will expire "
+                  "and be stolen")
+            return 130
+        if args.json:
+            print(json.dumps(report.to_dict()))
+        else:
+            print(f"worker {report.worker_id}: {report.shards_done} shard(s) "
+                  f"done, {report.shards_lost} lost | {report.executed} "
+                  f"executed, {report.cache_hits} cached, "
+                  f"{report.failed} failed | {report.stolen} lease(s) stolen")
+        return 1 if report.failed else 0
+
+    # serve
+    try:
+        store = RunStore(args.path)
+    except (OSError, ValueError, StoreVersionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        service = CampaignService(store, host=args.host, port=args.port)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"serving {store.root} at {service.url} "
+          "(routes: /status, /campaigns/<id>, /workers; ctrl-c to stop)")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
     return 0
 
 
@@ -773,6 +1166,7 @@ def main(argv: list[str] | None = None) -> int:
         "table1": _cmd_table1,
         "bench": _cmd_bench,
         "store": _cmd_store,
+        "dist": _cmd_dist,
         "report": _cmd_report,
         "status": _cmd_status,
         "inspect": _cmd_inspect,

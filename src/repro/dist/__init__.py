@@ -1,0 +1,65 @@
+"""The distributed campaign fabric: shard queue, coordinator, workers.
+
+The single-host tier (PR 2/4) runs a campaign through a hardened
+process pool; this package scales the same campaign across N
+independent worker *processes or hosts* with no runtime dependencies
+beyond a shared (or merged) filesystem:
+
+- :mod:`repro.dist.queue` -- the file-backed, crash-safe shard queue:
+  atomic-rename claims, TTL leases, steal-on-expiry, idempotent
+  completion.
+- :mod:`repro.dist.coordinator` -- expands the matrix, dedupes against
+  the store (cache hit = pre-done), shards the misses, enqueues, and
+  watches progress into the standard campaign heartbeat.
+- :mod:`repro.dist.worker` -- the claim/run/complete loop, executing
+  shards through the existing
+  :class:`~repro.store.scheduler.CampaignScheduler` (retries, timeouts,
+  chaos) into the worker's own store.
+- :mod:`repro.dist.service` -- ``dist serve``: heartbeat + queue state
+  as a stdlib HTTP JSON API, with ``repro-gsnet status --url`` as the
+  client.
+
+The design leans entirely on the content-addressed store: a run's
+fingerprint is its work-unit id, "already stored" is the only
+completion state that matters, and per-worker stores fold back into one
+with :func:`repro.store.sync.merge_stores` -- so every failure mode
+(dead worker, stolen lease, duplicate execution) converges to the same
+store a single-host run would have produced.
+"""
+
+from repro.dist.coordinator import Coordinator, EnqueueReport, WatchTimeout, queue_root
+from repro.dist.queue import (
+    QueueError,
+    Shard,
+    ShardQueue,
+    config_from_identity,
+    default_worker_id,
+)
+from repro.dist.service import (
+    CampaignService,
+    campaign_snapshot,
+    fetch_status,
+    service_snapshot,
+    workers_snapshot,
+)
+from repro.dist.worker import DistWorker, LeaseRenewer, WorkerReport
+
+__all__ = [
+    "CampaignService",
+    "Coordinator",
+    "DistWorker",
+    "EnqueueReport",
+    "LeaseRenewer",
+    "QueueError",
+    "Shard",
+    "ShardQueue",
+    "WatchTimeout",
+    "WorkerReport",
+    "campaign_snapshot",
+    "config_from_identity",
+    "default_worker_id",
+    "fetch_status",
+    "queue_root",
+    "service_snapshot",
+    "workers_snapshot",
+]

@@ -1,0 +1,219 @@
+"""The campaign coordinator: expand, dedupe, shard, enqueue, watch.
+
+The coordinator owns the campaign's *plan*: it fingerprints the
+condition matrix, asks the store which runs already exist (a cache hit
+is pre-done -- the same short-circuit the single-host scheduler uses),
+batches the misses into shards, and materialises a
+:class:`~repro.dist.queue.ShardQueue` under the campaign directory.
+Workers (:mod:`repro.dist.worker`) do the rest; the coordinator's
+``watch`` loop only observes -- polling queue state, stealing expired
+leases on behalf of dead workers, and appending the same heartbeat
+records the single-host scheduler writes, so ``repro-gsnet status`` and
+``repro-gsnet dist serve`` render a distributed campaign identically.
+
+Enqueueing is idempotent: re-running ``coordinate`` for a matrix whose
+queue already exists attaches to it instead of clobbering it, so the
+command doubles as "reconnect and watch" after a coordinator restart.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.store.fingerprint import config_fingerprint, config_identity
+from repro.store.heartbeat import CampaignHeartbeat
+from repro.store.scheduler import campaign_id as compute_campaign_id
+
+from repro.dist.queue import ShardQueue
+
+__all__ = ["Coordinator", "EnqueueReport", "WatchTimeout", "queue_root"]
+
+
+class WatchTimeout(RuntimeError):
+    """``watch`` gave up before the campaign drained."""
+
+
+def queue_root(store, cid: str):
+    """Where a campaign's shard queue lives inside a store."""
+    return store.campaign_dir(cid) / "queue"
+
+
+@dataclass
+class EnqueueReport:
+    """What ``Coordinator.enqueue`` did (or found already done)."""
+
+    campaign_id: str
+    total: int          # distinct runs in the matrix
+    cached: int         # pre-done at enqueue time (store hits)
+    enqueued: int       # runs actually sharded out
+    shards: int
+    created: bool       # False = attached to an existing queue
+    queue_root: str
+
+
+class Coordinator:
+    """Plan and observe one distributed campaign.
+
+    Args:
+        store: the coordinator's :class:`~repro.store.runstore.RunStore`
+            -- hosts the queue, the heartbeat, and the dedupe lookups.
+            Workers may write results elsewhere and merge back later;
+            dedupe only sees what *this* store holds at enqueue time.
+        shard_size: runs per shard.  Small shards spread better across
+            workers and lose less to a mid-shard crash; large shards
+            amortise claim/renew traffic.
+        ttl_s: lease time-to-live handed to the queue.
+        heartbeat_interval: watch-loop heartbeat throttle (seconds).
+        clock/wall/sleep: injection points for tests.
+    """
+
+    def __init__(
+        self,
+        store,
+        shard_size: int = 4,
+        ttl_s: float = 60.0,
+        heartbeat_interval: float = 1.0,
+        clock=time.monotonic,
+        wall=time.time,
+        sleep=time.sleep,
+    ):
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.store = store
+        self.shard_size = shard_size
+        self.ttl_s = ttl_s
+        self.heartbeat_interval = heartbeat_interval
+        self._clock = clock
+        self._wall = wall
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def enqueue(self, configs: list) -> EnqueueReport:
+        """Shard the matrix's store misses into the campaign queue.
+
+        Duplicate configs in the matrix collapse to one run (first
+        occurrence wins), exactly as the content-addressed store would
+        collapse them at ``put`` time.
+        """
+        distinct: dict[str, object] = {}
+        for config in configs:
+            distinct.setdefault(config_fingerprint(config), config)
+        cid = compute_campaign_id(list(distinct))
+        root = queue_root(self.store, cid)
+
+        if ShardQueue.exists(root):
+            queue = ShardQueue.open(root, clock=self._wall)
+            spec = queue.spec
+            return EnqueueReport(
+                campaign_id=cid,
+                total=int(spec["total_runs"]),
+                cached=int(spec.get("cached_runs", 0)),
+                enqueued=int(spec["total_runs"]) - int(spec.get("cached_runs", 0)),
+                shards=len(spec.get("shard_runs", {})),
+                created=False,
+                queue_root=str(root),
+            )
+
+        misses = {
+            fp: config for fp, config in distinct.items()
+            if not self.store.contains_fp(fp)
+        }
+        cached = len(distinct) - len(misses)
+        shards = []
+        ordered = list(misses.items())
+        for start in range(0, len(ordered), self.shard_size):
+            batch = ordered[start:start + self.shard_size]
+            sid = f"shard-{len(shards):05d}"
+            shards.append({
+                "shard": sid,
+                "campaign_id": cid,
+                "fingerprints": [fp for fp, _ in batch],
+                "configs": [config_identity(config) for _, config in batch],
+            })
+        ShardQueue.create(
+            root,
+            campaign_id=cid,
+            shards=shards,
+            cached_runs=cached,
+            total_runs=len(distinct),
+            ttl_s=self.ttl_s,
+            clock=self._wall,
+        )
+        return EnqueueReport(
+            campaign_id=cid,
+            total=len(distinct),
+            cached=cached,
+            enqueued=len(misses),
+            shards=len(shards),
+            created=True,
+            queue_root=str(root),
+        )
+
+    # ------------------------------------------------------------------
+    def watch(
+        self,
+        cid: str,
+        poll_s: float = 0.5,
+        steal: bool = True,
+        timeout_s: float | None = None,
+        progress=None,
+    ) -> dict:
+        """Observe the queue until it drains; returns the final status.
+
+        Every poll: steal expired leases (so a dead worker's shard goes
+        back to pending even if no live worker notices), snapshot queue
+        state, emit a heartbeat record, and call ``progress(status)``
+        when given.  Raises :class:`WatchTimeout` after ``timeout_s``
+        seconds without convergence -- the queue is left intact, so a
+        later watch (or more workers) can finish the campaign.
+        """
+        queue = ShardQueue.open(queue_root(self.store, cid), clock=self._wall)
+        total = int(queue.spec["total_runs"])
+        heartbeat = CampaignHeartbeat(
+            self.store, cid, total,
+            interval_s=self.heartbeat_interval,
+            clock=self._clock, wall=self._wall,
+        )
+        deadline = None if timeout_s is None else self._clock() + timeout_s
+        try:
+            while True:
+                stolen = queue.steal_expired() if steal else []
+                status = queue.status()
+                status["stolen_now"] = stolen
+                done = status["cached_runs"] + status["done_runs"]
+                heartbeat.beat(done, self._counters(status), force=bool(stolen))
+                if progress is not None:
+                    progress(status)
+                if queue.drained():
+                    heartbeat.finish(done, self._counters(status), phase="done")
+                    return status
+                if deadline is not None and self._clock() >= deadline:
+                    heartbeat.finish(
+                        done, self._counters(status), phase="interrupted"
+                    )
+                    raise WatchTimeout(
+                        f"campaign {cid} did not drain within {timeout_s:g}s "
+                        f"({status['pending_runs']} pending, "
+                        f"{status['claimed_runs']} claimed run(s) left)"
+                    )
+                self._sleep(poll_s)
+        finally:
+            heartbeat.close()
+
+    @staticmethod
+    def _counters(status: dict) -> dict:
+        """Queue totals -> the heartbeat's scheduler-counter vocabulary.
+
+        Enqueue-time cache hits and worker-side hits (a shard whose runs
+        landed in the store between enqueue and claim) both count as
+        store hits, mirroring what a single-host run would have seen.
+        """
+        return {
+            "store.hits": status["cached_runs"] + status["cache_hits"],
+            "sched.executed": status["executed"],
+            "sched.failures": status["failed"],
+            "sched.retries": status["retries"],
+            "sched.timeouts": status["timeouts"],
+            "sched.pool_breaks": status["pool_breaks"],
+        }

@@ -1,0 +1,395 @@
+"""The file-backed, crash-safe shard queue.
+
+A distributed campaign's unit of work is a **shard**: a batch of run
+fingerprints plus the config identities that produce them.  Shards live
+as JSON files under the coordinator store::
+
+    <store>/campaigns/<id>/queue/
+      spec.json            # campaign spec: totals, shard map, lease TTL
+      pending/<sid>.json   # unclaimed shards
+      claimed/<sid>.json   # leased shards; file mtime = last renewal
+      done/<sid>.json      # completed shards
+      done/<sid>.info.json # winner's completion record (best effort)
+      workers/<wid>.json   # worker heartbeats (atomic rewrites)
+
+Every state transition is a single ``os.rename`` of the shard file
+itself -- ``pending -> claimed`` (claim), ``claimed -> pending`` (steal
+after lease expiry), ``claimed -> done`` (completion) -- so exactly one
+mover wins any race (the losers get ``FileNotFoundError`` and move on)
+and a crash mid-transition can never duplicate or lose a shard.
+
+Leases are TTL-based: a worker renews its claim by touching the claimed
+file's mtime (``os.utime``), and anyone -- an idle worker, the watching
+coordinator -- may steal a claim whose mtime has gone stale by renaming
+it back to ``pending/``.  A stolen worker that later finishes anyway is
+harmless: results are content-addressed in the run store, so the queue's
+job is only to make sure every shard is *eventually* completed and
+counted **once** -- the first ``done/`` rename wins, every later
+completion attempt is a detected no-op (see
+:meth:`ShardQueue.complete`).
+
+The queue deliberately has no server and no locks beyond rename
+atomicity: point N worker processes (local, or remote hosts sharing the
+directory) at the same queue root and the campaign converges as long as
+at least one of them stays alive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.config import RunConfig
+from repro.experiments.profiles import Timeline
+from repro.store.runstore import _atomic_write_text
+
+__all__ = [
+    "QueueError",
+    "Shard",
+    "ShardQueue",
+    "config_from_identity",
+    "default_worker_id",
+]
+
+#: Bump on queue layout changes; mismatched specs refuse to load.
+QUEUE_FORMAT = 1
+
+
+class QueueError(RuntimeError):
+    """A queue directory is missing, torn, or from another format."""
+
+
+def default_worker_id() -> str:
+    """Host-unique default identity for a worker process."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def config_from_identity(identity: dict) -> RunConfig:
+    """Reconstruct a :class:`RunConfig` from its fingerprint identity.
+
+    The inverse of :func:`repro.store.fingerprint.config_identity`:
+    shard files carry identities (plain JSON), workers rebuild configs.
+    """
+    return RunConfig(
+        system=identity["system"],
+        capacity_bps=float(identity["capacity_bps"]),
+        queue_mult=float(identity["queue_mult"]),
+        cca=identity.get("cca"),
+        seed=int(identity["seed"]),
+        timeline=Timeline(scale=float(identity["timeline_scale"])),
+        qdisc=identity.get("qdisc", "droptail"),
+    )
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One claimed unit of work."""
+
+    id: str
+    campaign_id: str
+    configs: tuple
+    fingerprints: tuple
+
+    @property
+    def runs(self) -> int:
+        return len(self.fingerprints)
+
+
+class ShardQueue:
+    """One campaign's work queue (see the module docstring for layout).
+
+    Args:
+        root: the ``.../queue`` directory.
+        ttl_s: lease time-to-live; ``None`` reads it from ``spec.json``.
+        clock: epoch-seconds injection point (lease expiry compares the
+            claimed file's mtime against this clock, so tests can age
+            leases with ``os.utime`` instead of sleeping).
+    """
+
+    def __init__(self, root: str | Path, ttl_s: float | None = None, clock=time.time):
+        self.root = Path(root)
+        self.spec_path = self.root / "spec.json"
+        self.pending_dir = self.root / "pending"
+        self.claimed_dir = self.root / "claimed"
+        self.done_dir = self.root / "done"
+        self.workers_dir = self.root / "workers"
+        self._clock = clock
+        self._spec: dict | None = None
+        self._ttl_override = ttl_s
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def exists(root: str | Path) -> bool:
+        """Whether a fully-created queue lives at ``root``."""
+        return (Path(root) / "spec.json").exists()
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        campaign_id: str,
+        shards: list[dict],
+        cached_runs: int,
+        total_runs: int,
+        ttl_s: float = 60.0,
+        matrix: dict | None = None,
+        clock=time.time,
+    ) -> "ShardQueue":
+        """Materialise a new queue: shard files first, spec last.
+
+        The spec is written after every pending shard, so its existence
+        marks the queue complete -- a coordinator crash mid-create
+        leaves no spec and the next invocation rebuilds from scratch.
+        """
+        if ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        queue = cls(root, clock=clock)
+        if queue.spec_path.exists():
+            raise QueueError(f"queue already exists at {queue.root}; open it instead")
+        for d in (queue.pending_dir, queue.claimed_dir, queue.done_dir, queue.workers_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        shard_runs = {}
+        for shard in shards:
+            sid = shard["shard"]
+            if "." in sid or "/" in sid:
+                raise ValueError(f"bad shard id {sid!r}")
+            shard_runs[sid] = len(shard["fingerprints"])
+            _atomic_write_text(
+                queue.pending_dir / f"{sid}.json", json.dumps(shard)
+            )
+        spec = {
+            "format": QUEUE_FORMAT,
+            "campaign_id": campaign_id,
+            "total_runs": total_runs,
+            "cached_runs": cached_runs,
+            "shard_runs": shard_runs,
+            "ttl_s": ttl_s,
+            "created_ts": clock(),
+        }
+        if matrix is not None:
+            spec["matrix"] = matrix
+        _atomic_write_text(queue.spec_path, json.dumps(spec))
+        queue._spec = spec
+        return queue
+
+    @classmethod
+    def open(cls, root: str | Path, ttl_s: float | None = None, clock=time.time) -> "ShardQueue":
+        queue = cls(root, ttl_s=ttl_s, clock=clock)
+        queue.spec  # force the load (and the format check)
+        return queue
+
+    @property
+    def spec(self) -> dict:
+        if self._spec is None:
+            try:
+                spec = json.loads(self.spec_path.read_text())
+            except OSError as exc:
+                raise QueueError(f"no queue at {self.root} ({exc})") from exc
+            except ValueError as exc:
+                raise QueueError(f"torn queue spec at {self.spec_path}") from exc
+            if spec.get("format") != QUEUE_FORMAT:
+                raise QueueError(
+                    f"queue at {self.root} has format {spec.get('format')}, "
+                    f"this build reads format {QUEUE_FORMAT}"
+                )
+            self._spec = spec
+        return self._spec
+
+    @property
+    def campaign_id(self) -> str:
+        return self.spec["campaign_id"]
+
+    @property
+    def ttl_s(self) -> float:
+        if self._ttl_override is not None:
+            return self._ttl_override
+        return float(self.spec.get("ttl_s", 60.0))
+
+    # ------------------------------------------------------------------
+    # The lease protocol
+    # ------------------------------------------------------------------
+    def claim(self, worker_id: str) -> Shard | None:
+        """Atomically claim one pending shard, or None when none remain.
+
+        The rename is the lock: of N workers racing for the same shard
+        file exactly one rename succeeds, the rest skip to the next
+        pending file.
+        """
+        for path in sorted(self.pending_dir.glob("*.json")):
+            target = self.claimed_dir / path.name
+            try:
+                os.rename(path, target)
+            except FileNotFoundError:
+                continue  # lost the race for this shard
+            except OSError:
+                continue  # e.g. a concurrent gc of the queue dir
+            os.utime(target)  # lease starts now, whatever pending's mtime was
+            try:
+                data = json.loads(target.read_text())
+            except ValueError:
+                # A torn shard file cannot be run; park it in done/ as
+                # damaged rather than ping-ponging between workers.
+                os.rename(target, self.done_dir / f"{path.stem}.json")
+                _atomic_write_text(
+                    self.done_dir / f"{path.stem}.info.json",
+                    json.dumps({"shard": path.stem, "worker": worker_id,
+                                "damaged": True, "ts": self._clock()}),
+                )
+                continue
+            return Shard(
+                id=path.stem,
+                campaign_id=data.get("campaign_id", self.campaign_id),
+                configs=tuple(data.get("configs", ())),
+                fingerprints=tuple(data.get("fingerprints", ())),
+            )
+        return None
+
+    def renew(self, shard_id: str) -> bool:
+        """Refresh the lease; False means the claim was stolen/completed."""
+        try:
+            os.utime(self.claimed_dir / f"{shard_id}.json")
+            return True
+        except FileNotFoundError:
+            return False
+
+    def expired(self) -> list[str]:
+        """Claimed shards whose lease has outlived the TTL."""
+        stale = []
+        now = self._clock()
+        for path in self._shard_files(self.claimed_dir):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue  # moved while scanning
+            if now - mtime > self.ttl_s:
+                stale.append(path.stem)
+        return sorted(stale)
+
+    def steal_expired(self) -> list[str]:
+        """Move expired claims back to pending; returns what was stolen.
+
+        Safe to call from any process: the rename races exactly like
+        :meth:`claim`, so concurrent stealers cannot duplicate a shard.
+        """
+        stolen = []
+        for sid in self.expired():
+            name = f"{sid}.json"
+            try:
+                os.rename(self.claimed_dir / name, self.pending_dir / name)
+            except FileNotFoundError:
+                continue  # renewed, completed, or stolen by someone else
+            stolen.append(sid)
+        return stolen
+
+    def complete(self, shard_id: str, worker_id: str | None = None,
+                 info: dict | None = None) -> bool:
+        """Mark a shard done; returns False when it was already counted.
+
+        The normal path renames ``claimed -> done``.  If the claim was
+        stolen while this worker kept running (its results are in the
+        store regardless), the shard may sit in ``pending`` (stolen, not
+        yet reclaimed) -- completing from there is equally valid -- or
+        already be in ``done`` (the stealer finished first), in which
+        case this completion is the idempotent no-op the campaign
+        accounting relies on: one ``done/`` file, counted once.
+        """
+        name = f"{shard_id}.json"
+        destination = self.done_dir / name
+        for source_dir in (self.claimed_dir, self.pending_dir):
+            try:
+                os.rename(source_dir / name, destination)
+                break
+            except FileNotFoundError:
+                continue
+        else:
+            return False
+        if info is not None or worker_id is not None:
+            record = {"shard": shard_id, "worker": worker_id,
+                      "ts": self._clock(), **(info or {})}
+            _atomic_write_text(
+                self.done_dir / f"{shard_id}.info.json", json.dumps(record)
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    # Worker presence
+    # ------------------------------------------------------------------
+    def worker_beat(self, worker_id: str, **info) -> None:
+        """Publish one worker's current state (atomic rewrite)."""
+        record = {"worker": worker_id, "ts": self._clock(), **info}
+        _atomic_write_text(
+            self.workers_dir / f"{worker_id}.json",
+            json.dumps(record, separators=(",", ":")),
+        )
+
+    def workers(self) -> list[dict]:
+        """Every worker heartbeat this queue has seen (latest states)."""
+        seen = []
+        if not self.workers_dir.is_dir():
+            return seen
+        for path in sorted(self.workers_dir.glob("*.json")):
+            try:
+                seen.append(json.loads(path.read_text()))
+            except (OSError, ValueError):
+                continue  # torn write or concurrent removal
+        return seen
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _shard_files(directory: Path):
+        # Completion info sidecars (<sid>.info.json) share the suffix;
+        # shard ids never contain a dot, so the stem filter drops them.
+        if not directory.is_dir():
+            return
+        for path in sorted(directory.glob("*.json")):
+            if "." not in path.stem:
+                yield path
+
+    def _sids(self, directory: Path) -> list[str]:
+        return [path.stem for path in self._shard_files(directory)]
+
+    def status(self) -> dict:
+        """One snapshot of the whole queue (counts, lists, completions)."""
+        spec = self.spec
+        shard_runs = {k: int(v) for k, v in spec.get("shard_runs", {}).items()}
+        pending = self._sids(self.pending_dir)
+        claimed = self._sids(self.claimed_dir)
+        done = self._sids(self.done_dir)
+        totals = {"executed": 0, "cache_hits": 0, "failed": 0,
+                  "retries": 0, "timeouts": 0, "pool_breaks": 0}
+        for sid in done:
+            info_path = self.done_dir / f"{sid}.info.json"
+            try:
+                info = json.loads(info_path.read_text())
+            except (OSError, ValueError):
+                continue  # completion recorded without a sidecar
+            for key in totals:
+                totals[key] += int(info.get(key, 0))
+        runs = lambda sids: sum(shard_runs.get(sid, 0) for sid in sids)  # noqa: E731
+        return {
+            "campaign_id": spec["campaign_id"],
+            "total_runs": int(spec["total_runs"]),
+            "cached_runs": int(spec.get("cached_runs", 0)),
+            "ttl_s": self.ttl_s,
+            "shards": len(shard_runs),
+            "pending": pending,
+            "claimed": claimed,
+            "done": done,
+            "pending_runs": runs(pending),
+            "claimed_runs": runs(claimed),
+            "done_runs": runs(done),
+            "expired": self.expired(),
+            **totals,
+        }
+
+    def drained(self) -> bool:
+        """No work left: nothing pending and nothing claimed."""
+        return not self._sids(self.pending_dir) and not self._sids(self.claimed_dir)

@@ -1,0 +1,215 @@
+"""The live campaign service: heartbeat + queue state over HTTP.
+
+``repro-gsnet dist serve`` wraps one store in a read-only JSON API so a
+distributed campaign is observable from anywhere the store is not
+mounted -- a laptop watching a fleet, a CI step polling convergence:
+
+- ``GET /status`` (or ``/``) -- every campaign's latest heartbeat and
+  queue summary, plus all known workers;
+- ``GET /campaigns/<id>`` -- one campaign in full: heartbeat trail,
+  per-state shard lists, workers;
+- ``GET /workers`` -- the worker fleet across every queue.
+
+Pure stdlib (``http.server.ThreadingHTTPServer``); every response is
+built from a fresh read of the store, so the service holds no state a
+restart could lose.  :func:`fetch_status` is the client half, which
+``repro-gsnet status --url`` uses to render a remote campaign with the
+same formatter as a local one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.store.heartbeat import load_heartbeat
+
+from repro.dist.coordinator import queue_root
+from repro.dist.queue import ShardQueue
+
+__all__ = [
+    "CampaignService",
+    "campaign_snapshot",
+    "fetch_campaign",
+    "fetch_status",
+    "service_snapshot",
+    "workers_snapshot",
+]
+
+#: Heartbeat records included in a ``/campaigns/<id>`` trail.
+_TRAIL_LIMIT = 50
+
+
+# ----------------------------------------------------------------------
+# Snapshots (plain functions; the HTTP layer only serialises them)
+# ----------------------------------------------------------------------
+def _queue_summary(store, cid: str) -> dict | None:
+    root = queue_root(store, cid)
+    if not ShardQueue.exists(root):
+        return None
+    status = ShardQueue.open(root).status()
+    # Shard id lists are detail-level; the summary carries counts.
+    for state in ("pending", "claimed", "done", "expired"):
+        status[state] = len(status[state])
+    return status
+
+
+def service_snapshot(store) -> dict:
+    """The ``/status`` document: every campaign at a glance."""
+    campaigns = []
+    for cid in store.campaign_ids():
+        records = load_heartbeat(store.heartbeat_path(cid))
+        campaigns.append({
+            "campaign_id": cid,
+            "last": records[-1] if records else None,
+            "heartbeats": len(records),
+            "queue": _queue_summary(store, cid),
+        })
+    return {
+        "store": str(store.root),
+        "campaigns": campaigns,
+        "workers": workers_snapshot(store)["workers"],
+    }
+
+
+def campaign_snapshot(store, cid: str) -> dict | None:
+    """The ``/campaigns/<id>`` document, or None for an unknown id."""
+    if cid not in store.campaign_ids():
+        return None
+    records = load_heartbeat(store.heartbeat_path(cid))
+    root = queue_root(store, cid)
+    queue_status = workers = None
+    if ShardQueue.exists(root):
+        queue = ShardQueue.open(root)
+        queue_status = queue.status()
+        workers = queue.workers()
+    return {
+        "campaign_id": cid,
+        "last": records[-1] if records else None,
+        "records": records[-_TRAIL_LIMIT:],
+        "heartbeats": len(records),
+        "queue": queue_status,
+        "workers": workers,
+    }
+
+
+def workers_snapshot(store) -> dict:
+    """The ``/workers`` document: the fleet across every queue."""
+    workers = []
+    for cid in store.campaign_ids():
+        root = queue_root(store, cid)
+        if not ShardQueue.exists(root):
+            continue
+        for record in ShardQueue.open(root).workers():
+            workers.append({"campaign_id": cid, **record})
+    return {"workers": workers}
+
+
+# ----------------------------------------------------------------------
+# The HTTP server
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    # The store is attached to the server object by CampaignService.
+    server_version = "repro-dist/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        store = self.server.store  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path in ("/", "/status"):
+                self._reply(200, service_snapshot(store))
+            elif path == "/workers":
+                self._reply(200, workers_snapshot(store))
+            elif path.startswith("/campaigns/"):
+                cid = path[len("/campaigns/"):]
+                snapshot = campaign_snapshot(store, cid)
+                if snapshot is None:
+                    self._reply(404, {"error": f"unknown campaign {cid!r}"})
+                else:
+                    self._reply(200, snapshot)
+            else:
+                self._reply(404, {"error": f"no route {path!r}",
+                                  "routes": ["/status", "/campaigns/<id>",
+                                             "/workers"]})
+        except Exception as exc:  # noqa: BLE001 - surface, don't kill the server
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        pass  # requests are telemetry reads; don't spam the terminal
+
+
+class CampaignService:
+    """A threaded HTTP server publishing one store's campaign state.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is
+    available as :attr:`url` after construction.  ``serve_forever``
+    blocks (the CLI foreground mode); ``start``/``shutdown`` run it on
+    a daemon thread (tests, embedding).
+    """
+
+    def __init__(self, store, host: str = "127.0.0.1", port: int = 8765):
+        self.store = store
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.store = store  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def start(self) -> "CampaignService":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True, name="dist-serve"
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def _service_base(url: str) -> str:
+    if "://" not in url:
+        url = f"http://{url}"
+    url = url.rstrip("/")
+    if url.endswith("/status"):
+        url = url[: -len("/status")]
+    return url
+
+
+def _get_json(url: str, timeout_s: float) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return json.loads(response.read().decode())
+
+
+def fetch_status(url: str, timeout_s: float = 5.0) -> dict:
+    """GET a service's ``/status`` document (client half of ``--url``).
+
+    Accepts a bare ``host:port``, a service root, or the full
+    ``/status`` URL.
+    """
+    return _get_json(_service_base(url) + "/status", timeout_s)
+
+
+def fetch_campaign(url: str, cid: str, timeout_s: float = 5.0) -> dict:
+    """GET one campaign's detail document (heartbeat trail included)."""
+    return _get_json(f"{_service_base(url)}/campaigns/{cid}", timeout_s)

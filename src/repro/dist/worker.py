@@ -1,0 +1,321 @@
+"""The distributed worker loop: claim, run, complete, repeat.
+
+A :class:`DistWorker` points at a **coordinator store** (which hosts
+the shard queues) and a **result store** (its own, possibly the same
+directory).  The loop:
+
+1. scan the coordinator store for campaigns with a queue; steal any
+   expired leases it finds (workers police each other's liveness);
+2. claim one shard (atomic rename, see :mod:`repro.dist.queue`);
+3. start a background :class:`LeaseRenewer` thread touching the claim
+   every ``ttl/4`` seconds;
+4. run the shard's configs through the existing
+   :class:`~repro.store.scheduler.CampaignScheduler` -- cache-first
+   against the result store, with the PR 4 retry/timeout/chaos
+   semantics intact (``partial=True``: a persistently failing run is
+   recorded, not fatal to the shard);
+5. complete the shard (rename to ``done/`` with a completion record);
+   if the lease was stolen mid-run and the stealer finished first, the
+   completion is a detected no-op and the shard counts once.
+
+Results land in the worker's store as ordinary content-addressed
+objects; ``repro-gsnet store merge`` folds per-worker stores back into
+the coordinator's.  A worker that dies mid-shard loses nothing but its
+lease: completed runs are already in its store (merge recovers them as
+cache hits), and the shard itself goes back to pending at TTL expiry.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import run_single
+from repro.store.chaos import ChaosRunner, ChaosSpec
+from repro.store.scheduler import CampaignScheduler
+
+from repro.dist.coordinator import queue_root
+from repro.dist.queue import (
+    Shard,
+    ShardQueue,
+    config_from_identity,
+    default_worker_id,
+)
+
+__all__ = ["DistWorker", "LeaseRenewer", "WorkerReport"]
+
+#: Exit status of a ``kill_after_runs`` self-kill (distinct from the
+#: chaos crash code 73 so logs can tell worker-death injection from
+#: pool-worker-death injection).
+KILL_EXIT_CODE = 86
+
+
+class LeaseRenewer(threading.Thread):
+    """Touch one shard's claim file on a cadence until stopped.
+
+    Runs as a daemon so a worker crash stops the renewals with it --
+    which is the point: the lease then expires and the shard is stolen.
+    Renewal failing (claim already stolen or completed) flips
+    :attr:`lost`; the worker keeps running regardless, because its
+    results are content-addressed and a duplicate execution is merely
+    wasted CPU, never wrong data.
+    """
+
+    def __init__(self, queue: ShardQueue, shard_id: str, interval_s: float):
+        super().__init__(daemon=True, name=f"lease-{shard_id}")
+        self.queue = queue
+        self.shard_id = shard_id
+        self.interval_s = max(interval_s, 0.05)
+        self.lost = False
+        # Not named _stop: Thread.join() calls an internal self._stop().
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval_s):
+            if not self.queue.renew(self.shard_id):
+                self.lost = True
+                return
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+@dataclass
+class WorkerReport:
+    """One worker invocation's lifetime totals."""
+
+    worker_id: str = ""
+    shards_done: int = 0
+    shards_lost: int = 0      # completion was a no-op (stolen + finished)
+    runs: int = 0             # executed + cache hits, this worker
+    executed: int = 0
+    cache_hits: int = 0
+    failed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_breaks: int = 0
+    stolen: int = 0           # expired leases this worker recycled
+    campaigns: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "shards_done": self.shards_done,
+            "shards_lost": self.shards_lost,
+            "runs": self.runs,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "failed": self.failed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_breaks": self.pool_breaks,
+            "stolen": self.stolen,
+            "campaigns": list(self.campaigns),
+        }
+
+
+class DistWorker:
+    """One worker process's claim/run/complete loop.
+
+    Args:
+        coord_store: store hosting the shard queues.
+        store: where this worker writes results (defaults to
+            ``coord_store`` -- the shared-directory deployment).
+        campaign: restrict to one campaign id (default: serve them all).
+        worker_id: stable identity for leases/heartbeats.
+        inner_workers: process-pool width per shard (the existing
+            scheduler's ``workers``).
+        retries/timeout: per-run semantics, passed to the scheduler.
+        chaos: optional :class:`ChaosSpec` (or spec string) wrapped
+            around ``run_fn``, same as ``campaign --chaos``.
+        poll_s: idle delay between queue scans.
+        exit_when_done: return once every visible queue is drained
+            (False = keep polling for new campaigns, the fleet-daemon
+            mode).
+        max_shards: stop after completing this many shards.
+        idle_timeout_s: give up after this long with nothing claimable.
+        kill_after_runs: **test/CI hook** -- hard-exit the process
+            (``os._exit(86)``) after this many runs complete, simulating
+            a worker dying mid-shard with results already persisted.
+        run_fn: per-config executor (picklable when
+            ``inner_workers > 1``).
+        sleep/clock: injection points.
+    """
+
+    def __init__(
+        self,
+        coord_store,
+        store=None,
+        campaign: str | None = None,
+        worker_id: str | None = None,
+        inner_workers: int = 1,
+        retries: int = 1,
+        timeout: float | None = None,
+        chaos: "ChaosSpec | str | None" = None,
+        poll_s: float = 0.5,
+        exit_when_done: bool = True,
+        max_shards: int | None = None,
+        idle_timeout_s: float | None = None,
+        kill_after_runs: int | None = None,
+        run_fn=run_single,
+        sleep=time.sleep,
+        clock=time.monotonic,
+    ):
+        self.coord_store = coord_store
+        self.store = store if store is not None else coord_store
+        self.campaign = campaign
+        self.worker_id = worker_id or default_worker_id()
+        self.inner_workers = inner_workers
+        self.retries = retries
+        self.timeout = timeout
+        if isinstance(chaos, str):
+            chaos = ChaosSpec.parse(chaos)
+        self.run_fn = ChaosRunner(run_fn, chaos) if chaos is not None else run_fn
+        self.poll_s = poll_s
+        self.exit_when_done = exit_when_done
+        self.max_shards = max_shards
+        self.idle_timeout_s = idle_timeout_s
+        self.kill_after_runs = kill_after_runs
+        self._sleep = sleep
+        self._clock = clock
+        self._runs_completed = 0
+
+    # ------------------------------------------------------------------
+    def _queues(self) -> list[ShardQueue]:
+        """Every claimable queue in the coordinator store, re-scanned
+        each loop so campaigns enqueued after startup are picked up."""
+        queues = []
+        ids = (
+            [self.campaign] if self.campaign is not None
+            else self.coord_store.campaign_ids()
+        )
+        for cid in ids:
+            root = queue_root(self.coord_store, cid)
+            if ShardQueue.exists(root):
+                queues.append(ShardQueue.open(root))
+        return queues
+
+    def run(self, progress=None) -> WorkerReport:
+        """The worker loop; returns when done/idle per the exit policy."""
+        report = WorkerReport(worker_id=self.worker_id)
+        idle_since: float | None = None
+        while True:
+            queues = self._queues()
+            claimed: tuple[ShardQueue, Shard] | None = None
+            for queue in queues:
+                report.stolen += len(queue.steal_expired())
+                shard = queue.claim(self.worker_id)
+                if shard is not None:
+                    claimed = (queue, shard)
+                    break
+            if claimed is None:
+                self._beat(queues, report, shard=None)
+                if self.exit_when_done and queues and all(
+                    q.drained() for q in queues
+                ):
+                    return report
+                now = self._clock()
+                if idle_since is None:
+                    idle_since = now
+                if (
+                    self.idle_timeout_s is not None
+                    and now - idle_since >= self.idle_timeout_s
+                ):
+                    return report
+                self._sleep(self.poll_s)
+                continue
+
+            idle_since = None
+            queue, shard = claimed
+            self._beat([queue], report, shard=shard.id)
+            self._run_shard(queue, shard, report, progress)
+            if shard.campaign_id not in report.campaigns:
+                report.campaigns.append(shard.campaign_id)
+            if (
+                self.max_shards is not None
+                and report.shards_done + report.shards_lost >= self.max_shards
+            ):
+                self._beat([queue], report, shard=None)
+                return report
+
+    # ------------------------------------------------------------------
+    def _run_shard(self, queue: ShardQueue, shard: Shard, report: WorkerReport,
+                   progress) -> None:
+        configs = [config_from_identity(identity) for identity in shard.configs]
+        renewer = LeaseRenewer(queue, shard.id, interval_s=queue.ttl_s / 4.0)
+        renewer.start()
+        try:
+            scheduler = CampaignScheduler(
+                workers=self.inner_workers,
+                store=self.store,
+                retries=self.retries,
+                timeout=self.timeout,
+                partial=True,
+                checkpoint=False,   # the queue is the distributed checkpoint
+                run_fn=self.run_fn,
+                on_result=self._on_result,
+                heartbeat_interval=None,  # the coordinator owns the heartbeat
+            )
+            shard_report = scheduler.run(configs)
+        finally:
+            renewer.stop()
+        info = {
+            "runs": len(configs),
+            "executed": shard_report.executed,
+            "cache_hits": shard_report.cache_hits,
+            "failed": len(shard_report.failures),
+            "retries": shard_report.retries,
+            "timeouts": shard_report.timeouts,
+            "pool_breaks": shard_report.pool_breaks,
+        }
+        completed = queue.complete(shard.id, self.worker_id, info)
+        if completed:
+            report.shards_done += 1
+        else:
+            # Stolen and finished by someone else first: the runs are in
+            # our store (merge will dedupe them) but the shard was
+            # already counted -- exactly once, by the winner.
+            report.shards_lost += 1
+        report.runs += shard_report.executed + shard_report.cache_hits
+        report.executed += shard_report.executed
+        report.cache_hits += shard_report.cache_hits
+        report.failed += len(shard_report.failures)
+        report.retries += shard_report.retries
+        report.timeouts += shard_report.timeouts
+        report.pool_breaks += shard_report.pool_breaks
+        if progress is not None:
+            progress(shard, shard_report, completed)
+
+    def _on_result(self, result, done, total, cached) -> None:
+        """Per-run hook: counts completions for the self-kill test hook.
+
+        Runs *after* the scheduler persisted the result, so a kill here
+        models the worst honest crash: results on disk, lease still
+        held, completion never recorded.
+        """
+        self._runs_completed += 1
+        if (
+            self.kill_after_runs is not None
+            and self._runs_completed >= self.kill_after_runs
+        ):
+            os._exit(KILL_EXIT_CODE)
+
+    def _beat(self, queues: list[ShardQueue], report: WorkerReport,
+              shard: str | None) -> None:
+        for queue in queues:
+            try:
+                queue.worker_beat(
+                    self.worker_id,
+                    shard=shard,
+                    shards_done=report.shards_done,
+                    runs=report.runs,
+                    executed=report.executed,
+                    cache_hits=report.cache_hits,
+                    failed=report.failed,
+                    stolen=report.stolen,
+                )
+            except OSError:  # pragma: no cover - queue being torn down
+                continue

@@ -7,6 +7,8 @@ campaign; ``--history`` widens that to a short progress trail.
 
 from __future__ import annotations
 
+import math
+
 from repro.store.heartbeat import load_heartbeat
 
 __all__ = ["campaign_status", "render_status", "render_progress_bar"]
@@ -27,10 +29,26 @@ def render_progress_bar(done: int, total: int, width: int = 30) -> str:
     return "[" + "#" * filled + "." * (width - filled) + "]"
 
 
+def _finite(value) -> float | None:
+    """``value`` as a finite positive-or-zero float, else None.
+
+    Heartbeat records written by other processes (distributed workers,
+    older builds) may carry ``null``, ``0``, ``inf``, or junk in the
+    rate/eta fields; every renderer below goes through this guard so a
+    stalled campaign (``done=0``, ``runs_per_s=0``) displays as unknown
+    instead of crashing or printing ``inf``.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if not math.isfinite(value):
+        return None
+    return float(value)
+
+
 def _eta_text(record: dict) -> str:
-    eta = record.get("eta_s")
-    if eta is None:
-        return "eta unknown"
+    eta = _finite(record.get("eta_s"))
+    if eta is None or not _finite(record.get("runs_per_s")):
+        return "eta —"
     if eta <= 0:
         return "eta 0s"
     if eta >= 3600:
@@ -47,32 +65,36 @@ def render_status(status: dict, history: int = 0) -> str:
     (sequence, done count, rate) under the summary line.
     """
     last = status["last"]
-    done, total = last["done"], last["total"]
-    phase = last["phase"]
+    done = int(last.get("done", 0))
+    total = int(last.get("total", 0))
+    phase = last.get("phase", "unknown")
     bar = render_progress_bar(done, total)
     percent = (100.0 * done / total) if total else 0.0
-    rate = last.get("runs_per_s")
-    hit_rate = last.get("cache_hit_rate")
+    rate = _finite(last.get("runs_per_s"))
+    hit_rate = _finite(last.get("cache_hit_rate"))
     lines = [
         f"campaign {status['campaign_id']}: {phase}",
         f"  {bar} {done}/{total} ({percent:.0f}%)"
         + (f", {rate:.2f} runs/s" if rate else "")
         + (f", {_eta_text(last)}" if phase == "running" else ""),
         "  cache hits "
-        + (f"{last['cache_hits']} ({hit_rate * 100:.0f}%)" if hit_rate is not None
-           else str(last["cache_hits"]))
-        + f", executed {last['executed']}, failed {last['failed']}"
-        + f", retries {last['retries']}, timeouts {last['timeouts']}"
-        + f", pool breaks {last['pool_breaks']}",
-        f"  {last['elapsed_s']:.1f}s elapsed, {len(status['records'])} heartbeats",
+        + (f"{last.get('cache_hits', 0)} ({hit_rate * 100:.0f}%)"
+           if hit_rate is not None else str(last.get("cache_hits", 0)))
+        + f", executed {last.get('executed', 0)}, failed {last.get('failed', 0)}"
+        + f", retries {last.get('retries', 0)}, timeouts {last.get('timeouts', 0)}"
+        + f", pool breaks {last.get('pool_breaks', 0)}",
+        f"  {last.get('elapsed_s', 0.0):.1f}s elapsed,"
+        f" {len(status['records'])} heartbeats",
     ]
     if history > 0:
         lines.append("  trail:")
         for record in status["records"][-history:]:
-            rate = record.get("runs_per_s")
+            rate = _finite(record.get("runs_per_s"))
             lines.append(
-                f"    #{record['seq']:<4d} t+{record['elapsed_s']:>8.1f}s "
-                f"{record['done']:>6d}/{record['total']} {record['phase']}"
+                f"    #{record.get('seq', 0):<4d}"
+                f" t+{record.get('elapsed_s', 0.0):>8.1f}s "
+                f"{record.get('done', 0):>6d}/{record.get('total', 0)}"
+                f" {record.get('phase', 'unknown')}"
                 + (f" {rate:.2f}/s" if rate else "")
             )
     return "\n".join(lines)

@@ -24,6 +24,11 @@ package makes those campaigns cheap to re-run and safe to interrupt:
   scheduler appends progress snapshots to
   ``<store>/campaigns/<id>/heartbeat.jsonl`` so a long sweep is
   observable from another terminal (``repro-gsnet status``).
+- :mod:`repro.store.sync` -- store synchronisation: manifest-union
+  merge of two stores (object-level dedupe by fingerprint, provenance-
+  aware conflict detection, atomic manifest rewrite + index
+  invalidation), the fold-back half of the distributed tier
+  (:mod:`repro.dist`), exposed as ``repro-gsnet store merge|push|pull``.
 
 :class:`~repro.experiments.campaign.Campaign` drives the scheduler; the
 ``repro-gsnet campaign`` (``--timeout``/``--chaos``) and ``repro-gsnet
@@ -47,6 +52,7 @@ from repro.store.scheduler import (
     RunTimeout,
     WorkerCrash,
 )
+from repro.store.sync import MergeReport, merge_stores, pull_store, push_store
 
 __all__ = [
     "CampaignError",
@@ -54,6 +60,7 @@ __all__ = [
     "CampaignReport",
     "CampaignScheduler",
     "ChaosFault",
+    "MergeReport",
     "ChaosRunner",
     "ChaosSpec",
     "RunFailure",
@@ -67,5 +74,8 @@ __all__ = [
     "config_fingerprint",
     "last_heartbeat",
     "load_heartbeat",
+    "merge_stores",
     "parse_where",
+    "pull_store",
+    "push_store",
 ]

@@ -255,12 +255,28 @@ class RunStore:
             canonical_json(e) + "\n" for e in kept.values()
         )
         _atomic_write_text(self.manifest_path, lines)
+        self.invalidate_index()
         return {
             "entries_dropped": dropped_entries,
             "objects_removed": removed_objects,
             "tmp_removed": removed_tmp,
             "entries_kept": len(kept),
         }
+
+    def invalidate_index(self) -> None:
+        """Drop the cached ``index.json`` after any manifest rewrite.
+
+        The :class:`~repro.store.index.StoreIndex` cache is keyed on the
+        manifest's ``(size, mtime_ns)`` stamp, but a rewrite that lands
+        on a coarse-mtime filesystem can leave both unchanged (same byte
+        count, same timestamp granule) and serve collected fingerprints
+        from the stale cache.  Every manifest-rewriting path (``gc``,
+        store merge) must call this explicitly.
+        """
+        try:
+            (self.root / "index.json").unlink()
+        except FileNotFoundError:
+            pass
 
     def _object_dirs(self):
         for shard in sorted(self.objects.iterdir()):

@@ -1,0 +1,170 @@
+"""Store synchronisation: manifest-union merge, push, and pull.
+
+Distributed campaigns leave results scattered across per-worker stores;
+:func:`merge_stores` folds a source store into a destination so a single
+``repro report`` sees everything.  The merge is object-level and keyed
+by fingerprint -- the same content addressing the cache uses:
+
+- a fingerprint only in the source is **copied** (both object files,
+  atomic temp+rename) and its manifest entry appended to the union;
+- a fingerprint in both is compared.  Byte-identical objects are plain
+  **duplicates**.  Objects that differ only in provenance
+  (``wall_time_s``, ``profile`` -- per-host execution facts that are
+  not part of the result) are *semantically* compared: equal metadata
+  (minus provenance) and element-equal arrays are still duplicates,
+  and the destination's copy is kept;
+- anything else is a **conflict**: two hosts produced different results
+  for the same fingerprint, which with a deterministic simulator means
+  corruption or version skew.  The destination's copy is kept and the
+  conflict reported -- the merge never destroys data it cannot prove
+  redundant.
+
+After copying, the destination manifest is rewritten atomically as the
+union (deduplicated, destination entries winning) and the cached
+``index.json`` is invalidated.  ``push``/``pull`` are directional
+conveniences over the same merge.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.store.fingerprint import canonical_json
+from repro.store.runstore import (
+    RunStore,
+    _ARRAY_FIELDS,
+    _atomic_write_text,
+)
+
+__all__ = ["MergeReport", "merge_stores", "push_store", "pull_store"]
+
+#: ``meta.json`` fields that record *how* a run executed, not *what* it
+#: produced.  Two honest executions of the same fingerprint on different
+#: hosts differ here and nowhere else.
+PROVENANCE_FIELDS = ("wall_time_s", "profile")
+
+
+@dataclass
+class MergeReport:
+    """What one merge did, per fingerprint class."""
+
+    copied: int = 0
+    duplicates: int = 0
+    conflicts: list[str] = field(default_factory=list)
+    #: source manifest entries whose object files were missing/torn
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.conflicts
+
+    def to_dict(self) -> dict:
+        return {
+            "copied": self.copied,
+            "duplicates": self.duplicates,
+            "conflicts": list(self.conflicts),
+            "missing": list(self.missing),
+        }
+
+
+def merge_stores(dst: RunStore, src: RunStore) -> MergeReport:
+    """Fold ``src`` into ``dst`` (see the module docstring for rules)."""
+    if dst.root.resolve() == src.root.resolve():
+        raise ValueError(f"refusing to merge a store into itself: {dst.root}")
+    report = MergeReport()
+    dst_entries = {e["fp"]: e for e in dst.ls()}
+    new_entries = []
+    for entry in src.ls():
+        fp = entry["fp"]
+        if not src.contains_fp(fp):
+            report.missing.append(fp)
+            continue
+        if dst.contains_fp(fp):
+            if _objects_equal(dst._object_dir(fp), src._object_dir(fp)):
+                report.duplicates += 1
+            else:
+                report.conflicts.append(fp)
+            continue
+        _copy_object(src._object_dir(fp), dst._object_dir(fp))
+        new_entries.append(entry)
+        report.copied += 1
+
+    if new_entries:
+        for entry in new_entries:
+            dst_entries.setdefault(entry["fp"], entry)
+        lines = "".join(
+            canonical_json(e) + "\n" for e in dst_entries.values()
+        )
+        _atomic_write_text(dst.manifest_path, lines)
+        dst.invalidate_index()
+    return report
+
+
+def push_store(local: RunStore, remote_root: str | Path) -> MergeReport:
+    """Merge the local store's objects into a (possibly new) remote root."""
+    return merge_stores(RunStore(remote_root), local)
+
+
+def pull_store(local: RunStore, remote_root: str | Path) -> MergeReport:
+    """Merge a remote store's objects into the local store."""
+    return merge_stores(local, RunStore(remote_root))
+
+
+# ----------------------------------------------------------------------
+# Object comparison / copying
+# ----------------------------------------------------------------------
+def _copy_object(src_dir: Path, dst_dir: Path) -> None:
+    """Copy one object's files into the destination store, atomically.
+
+    Each file is copied to a temp name in its final directory and
+    published with rename, mirroring the store's own write discipline:
+    a crash mid-merge leaves ``*.tmp*`` litter for ``gc``, never a
+    truncated object that :meth:`RunStore.contains_fp` would trust.
+    """
+    dst_dir.mkdir(parents=True, exist_ok=True)
+    for name in ("meta.json", "arrays.npz"):
+        tmp = dst_dir / f".{name}.tmp"
+        shutil.copyfile(src_dir / name, tmp)
+        tmp.replace(dst_dir / name)
+
+
+def _objects_equal(a_dir: Path, b_dir: Path) -> bool:
+    """Whether two stored objects represent the same run result.
+
+    Fast path: byte-identical files.  Slow path: equal metadata after
+    dropping provenance, and element-equal arrays -- the comparison two
+    honest executions of a deterministic simulation must pass.
+    """
+    try:
+        a_meta_raw = (a_dir / "meta.json").read_bytes()
+        b_meta_raw = (b_dir / "meta.json").read_bytes()
+        a_npz_raw = (a_dir / "arrays.npz").read_bytes()
+        b_npz_raw = (b_dir / "arrays.npz").read_bytes()
+    except OSError:
+        return False
+    if a_meta_raw == b_meta_raw and a_npz_raw == b_npz_raw:
+        return True
+    try:
+        a_meta = json.loads(a_meta_raw)
+        b_meta = json.loads(b_meta_raw)
+    except ValueError:
+        return False
+    for meta in (a_meta, b_meta):
+        for name in PROVENANCE_FIELDS:
+            meta.pop(name, None)
+    if a_meta != b_meta:
+        return False
+    try:
+        with np.load(a_dir / "arrays.npz") as a_npz, \
+                np.load(b_dir / "arrays.npz") as b_npz:
+            for name in _ARRAY_FIELDS:
+                if not np.array_equal(a_npz[name], b_npz[name]):
+                    return False
+    except (OSError, ValueError, KeyError):
+        return False
+    return True

@@ -26,6 +26,7 @@ def test_registry_holds_the_documented_inventory():
         "multiflow-stress",
         "campaign-slice",
         "campaign-chaos",
+        "dist-slice",
         "report-sweep",
     ]
     for name in scenario_names():
@@ -83,6 +84,11 @@ def test_solo_stream_has_no_pool_counters():
 def test_campaign_slice_reports_runs_not_events():
     counters = get_scenario("campaign-slice").run(scale=0.05)
     assert counters == {"runs": 4, "executed": 4, "cache_hits": 0}
+
+
+def test_dist_slice_shards_executes_and_merges_everything():
+    counters = get_scenario("dist-slice").run(scale=0.05)
+    assert counters == {"runs": 4, "executed": 4, "shards": 4, "merged": 4}
 
 
 def test_report_sweep_aggregates_the_synthetic_store():

@@ -1,0 +1,232 @@
+"""Unit tests for the file-backed shard queue (lease lifecycle)."""
+
+import json
+import os
+
+import pytest
+
+from repro.dist.queue import (
+    QueueError,
+    ShardQueue,
+    config_from_identity,
+    default_worker_id,
+)
+from repro.store.fingerprint import config_fingerprint, config_identity
+
+from tests.store.test_runstore import make_config
+
+
+def make_shards(n_shards=3, runs_per_shard=2):
+    shards = []
+    seed = 0
+    for i in range(n_shards):
+        configs, fps = [], []
+        for _ in range(runs_per_shard):
+            config = make_config(seed=seed)
+            seed += 1
+            configs.append(config_identity(config))
+            fps.append(config_fingerprint(config))
+        shards.append({
+            "shard": f"shard-{i:05d}",
+            "campaign_id": "cafe01",
+            "configs": configs,
+            "fingerprints": fps,
+        })
+    return shards
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return ShardQueue.create(
+        tmp_path / "queue", campaign_id="cafe01",
+        shards=make_shards(), cached_runs=1, total_runs=7, ttl_s=60.0,
+    )
+
+
+class TestCreateOpen:
+    def test_spec_written_last_marks_existence(self, tmp_path, queue):
+        assert ShardQueue.exists(queue.root)
+        assert not ShardQueue.exists(tmp_path / "elsewhere")
+
+    def test_open_roundtrips_spec(self, queue):
+        reopened = ShardQueue.open(queue.root)
+        assert reopened.campaign_id == "cafe01"
+        assert reopened.ttl_s == 60.0
+        assert reopened.spec["total_runs"] == 7
+        assert reopened.spec["cached_runs"] == 1
+
+    def test_create_twice_refuses(self, queue):
+        with pytest.raises(QueueError, match="already exists"):
+            ShardQueue.create(queue.root, campaign_id="cafe01",
+                              shards=[], cached_runs=0, total_runs=0)
+
+    def test_open_missing_raises(self, tmp_path):
+        with pytest.raises(QueueError, match="no queue"):
+            ShardQueue.open(tmp_path / "nope")
+
+    def test_format_mismatch_raises(self, queue):
+        spec = json.loads(queue.spec_path.read_text())
+        spec["format"] = 99
+        queue.spec_path.write_text(json.dumps(spec))
+        with pytest.raises(QueueError, match="format"):
+            ShardQueue.open(queue.root)
+
+    def test_rejects_dotted_shard_ids(self, tmp_path):
+        with pytest.raises(ValueError, match="bad shard id"):
+            ShardQueue.create(
+                tmp_path / "q2", campaign_id="x",
+                shards=[{"shard": "a.b", "fingerprints": [], "configs": []}],
+                cached_runs=0, total_runs=0,
+            )
+
+    def test_nonpositive_ttl_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="ttl"):
+            ShardQueue.create(tmp_path / "q3", campaign_id="x", shards=[],
+                              cached_runs=0, total_runs=0, ttl_s=0)
+
+
+class TestClaim:
+    def test_claim_moves_pending_to_claimed(self, queue):
+        shard = queue.claim("w1")
+        assert shard.id == "shard-00000"  # sorted order
+        assert shard.campaign_id == "cafe01"
+        assert shard.runs == 2
+        assert len(shard.configs) == len(shard.fingerprints) == 2
+        assert (queue.claimed_dir / "shard-00000.json").exists()
+        assert not (queue.pending_dir / "shard-00000.json").exists()
+
+    def test_each_claim_is_exclusive(self, queue):
+        ids = {queue.claim(f"w{i}").id for i in range(3)}
+        assert ids == {"shard-00000", "shard-00001", "shard-00002"}
+        assert queue.claim("w9") is None
+
+    def test_claimed_configs_reconstruct(self, queue):
+        shard = queue.claim("w1")
+        config = config_from_identity(shard.configs[0])
+        assert config_fingerprint(config) == shard.fingerprints[0]
+
+    def test_torn_shard_is_parked_damaged(self, queue):
+        (queue.pending_dir / "shard-00000.json").write_text("{truncated")
+        shard = queue.claim("w1")
+        # claim() skips the torn file and serves the next shard
+        assert shard.id == "shard-00001"
+        info = json.loads(
+            (queue.done_dir / "shard-00000.info.json").read_text()
+        )
+        assert info["damaged"] is True
+
+
+class TestLeaseLifecycle:
+    """Satellite: claim -> expire -> steal -> double-completion."""
+
+    def _backdate(self, queue, sid, by_s):
+        path = queue.claimed_dir / f"{sid}.json"
+        stat = path.stat()
+        os.utime(path, (stat.st_atime - by_s, stat.st_mtime - by_s))
+
+    def test_fresh_lease_not_expired(self, queue):
+        queue.claim("w1")
+        assert queue.expired() == []
+        assert queue.steal_expired() == []
+
+    def test_expired_lease_is_stolen_back_to_pending(self, queue):
+        shard = queue.claim("w1")
+        self._backdate(queue, shard.id, by_s=120)
+        assert queue.expired() == [shard.id]
+        assert queue.steal_expired() == [shard.id]
+        assert (queue.pending_dir / f"{shard.id}.json").exists()
+        # ...and is claimable again by someone else
+        assert queue.claim("w2").id == shard.id
+
+    def test_renew_defers_expiry(self, queue):
+        shard = queue.claim("w1")
+        self._backdate(queue, shard.id, by_s=120)
+        assert queue.renew(shard.id) is True
+        assert queue.expired() == []
+
+    def test_renew_after_steal_reports_loss(self, queue):
+        shard = queue.claim("w1")
+        self._backdate(queue, shard.id, by_s=120)
+        queue.steal_expired()
+        assert queue.renew(shard.id) is False
+
+    def test_double_completion_is_idempotent_and_counted_once(self, queue):
+        shard = queue.claim("w1")
+        self._backdate(queue, shard.id, by_s=120)
+        queue.steal_expired()
+        stolen = queue.claim("w2")
+        assert stolen.id == shard.id
+
+        # The stealer finishes first and wins the done/ rename.
+        assert queue.complete(shard.id, "w2", {"executed": 2}) is True
+        # The original worker finishes anyway: detected no-op.
+        assert queue.complete(shard.id, "w1", {"executed": 2}) is False
+
+        status = queue.status()
+        assert status["done"].count(shard.id) == 1
+        assert status["done_runs"] == 2  # counted once, not twice
+        # The winner's completion record survives the loser's attempt.
+        info = json.loads(
+            (queue.done_dir / f"{shard.id}.info.json").read_text()
+        )
+        assert info["worker"] == "w2"
+
+    def test_complete_from_pending_after_steal(self, queue):
+        # Stolen but not yet reclaimed: the original worker's completion
+        # still lands (the shard sits in pending/).
+        shard = queue.claim("w1")
+        self._backdate(queue, shard.id, by_s=120)
+        queue.steal_expired()
+        assert queue.complete(shard.id, "w1", {"executed": 2}) is True
+        assert queue.status()["done_runs"] == 2
+
+    def test_complete_unknown_shard_is_noop(self, queue):
+        assert queue.complete("shard-99999", "w1") is False
+
+
+class TestStatus:
+    def test_counts_by_state(self, queue):
+        queue.claim("w1")
+        status = queue.status()
+        assert len(status["pending"]) == 2
+        assert status["claimed"] == ["shard-00000"]
+        assert status["done"] == []
+        assert status["pending_runs"] == 4
+        assert status["claimed_runs"] == 2
+        assert status["cached_runs"] == 1
+        assert status["total_runs"] == 7
+
+    def test_done_info_aggregation_ignores_sidecars_as_shards(self, queue):
+        shard = queue.claim("w1")
+        queue.complete(shard.id, "w1", {
+            "executed": 1, "cache_hits": 1, "failed": 0,
+            "retries": 3, "timeouts": 1, "pool_breaks": 0,
+        })
+        status = queue.status()
+        # the .info.json sidecar must not be mistaken for a 4th shard
+        assert status["shards"] == 3
+        assert status["done"] == [shard.id]
+        assert status["executed"] == 1
+        assert status["cache_hits"] == 1
+        assert status["retries"] == 3
+        assert status["timeouts"] == 1
+
+    def test_drained_only_when_pending_and_claimed_empty(self, queue):
+        assert not queue.drained()
+        for _ in range(3):
+            shard = queue.claim("w1")
+            queue.complete(shard.id, "w1")
+        assert queue.drained()
+
+
+class TestWorkers:
+    def test_beat_and_list(self, queue):
+        queue.worker_beat("w1", shard="shard-00000", runs=3)
+        queue.worker_beat("w2", shard=None, runs=0)
+        queue.worker_beat("w1", shard=None, runs=5)  # rewrite, not append
+        workers = queue.workers()
+        assert [w["worker"] for w in workers] == ["w1", "w2"]
+        assert workers[0]["runs"] == 5
+
+    def test_default_worker_id_is_host_and_pid(self):
+        assert str(os.getpid()) in default_worker_id()

@@ -1,0 +1,152 @@
+"""Tests for the live campaign service (HTTP JSON tier) and its client."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.dist import Coordinator, queue_root
+from repro.dist.queue import ShardQueue
+from repro.dist.service import (
+    CampaignService,
+    campaign_snapshot,
+    fetch_campaign,
+    fetch_status,
+    service_snapshot,
+    workers_snapshot,
+)
+from repro.store import RunStore
+from repro.store.heartbeat import CampaignHeartbeat
+
+from tests.store.test_runstore import make_config
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+def populate(store, n=3):
+    """Enqueue a campaign, fake some activity, write one heartbeat."""
+    configs = [make_config(seed=i) for i in range(n)]
+    report = Coordinator(store, shard_size=1).enqueue(configs)
+    queue = ShardQueue.open(queue_root(store, report.campaign_id))
+    shard = queue.claim("w1")
+    queue.complete(shard.id, "w1", {"executed": 1, "runs": 1})
+    queue.worker_beat("w1", shard=None, runs=1)
+    CampaignHeartbeat(store, report.campaign_id, total=n).beat(
+        done=1, counters={}, phase="running", force=True
+    )
+    return report.campaign_id
+
+
+class TestSnapshots:
+    def test_service_snapshot_lists_campaigns_and_workers(self, store):
+        cid = populate(store)
+        snapshot = service_snapshot(store)
+        assert [c["campaign_id"] for c in snapshot["campaigns"]] == [cid]
+        campaign = snapshot["campaigns"][0]
+        assert campaign["last"]["phase"] == "running"
+        # Queue summary carries counts, not shard-id lists.
+        assert campaign["queue"]["done"] == 1
+        assert campaign["queue"]["pending"] == 2
+        assert [w["worker"] for w in snapshot["workers"]] == ["w1"]
+
+    def test_campaign_snapshot_has_trail_and_full_queue(self, store):
+        cid = populate(store)
+        snapshot = campaign_snapshot(store, cid)
+        assert snapshot["campaign_id"] == cid
+        assert len(snapshot["records"]) == 1
+        assert snapshot["queue"]["done"] == ["shard-00000"]
+
+    def test_campaign_snapshot_unknown_id_is_none(self, store):
+        assert campaign_snapshot(store, "deadbeef") is None
+
+    def test_workers_snapshot_tags_campaign(self, store):
+        cid = populate(store)
+        workers = workers_snapshot(store)["workers"]
+        assert workers[0]["campaign_id"] == cid
+        assert workers[0]["worker"] == "w1"
+
+    def test_empty_store_snapshots(self, store):
+        assert service_snapshot(store)["campaigns"] == []
+        assert workers_snapshot(store)["workers"] == []
+
+
+@pytest.fixture
+def service(store):
+    svc = CampaignService(store, port=0).start()
+    yield svc
+    svc.shutdown()
+
+
+class TestHTTP:
+    def test_status_route(self, store, service):
+        cid = populate(store)
+        payload = fetch_status(service.url)
+        assert payload["campaigns"][0]["campaign_id"] == cid
+        # Bare host:port and trailing /status both work.
+        bare = service.url[len("http://"):]
+        assert fetch_status(bare) == payload
+        assert fetch_status(service.url + "/status") == payload
+
+    def test_campaign_route(self, store, service):
+        cid = populate(store)
+        payload = fetch_campaign(service.url, cid)
+        assert payload["campaign_id"] == cid
+        assert payload["queue"]["total_runs"] == 3
+
+    def test_unknown_campaign_404(self, store, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            fetch_campaign(service.url, "deadbeef")
+        assert err.value.code == 404
+
+    def test_unknown_route_404_lists_routes(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(service.url + "/nope")
+        assert err.value.code == 404
+        body = json.loads(err.value.read().decode())
+        assert "/status" in body["routes"]
+
+    def test_workers_route(self, store, service):
+        populate(store)
+        with urllib.request.urlopen(service.url + "/workers") as response:
+            payload = json.loads(response.read().decode())
+        assert [w["worker"] for w in payload["workers"]] == ["w1"]
+
+    def test_response_is_fresh_not_cached(self, store, service):
+        assert fetch_status(service.url)["campaigns"] == []
+        populate(store)
+        assert len(fetch_status(service.url)["campaigns"]) == 1
+
+
+class TestStatusURL:
+    def test_cli_status_url_renders_remote(self, store, service, capsys):
+        from repro.cli import main
+
+        cid = populate(store)
+        code = main(["status", "--url", service.url])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert cid[:8] in out or cid in out
+
+    def test_cli_status_url_json(self, store, service, capsys):
+        from repro.cli import main
+
+        cid = populate(store)
+        assert main(["status", "--url", service.url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["campaign_id"] == cid
+        assert payload[0]["phase"] == "running"
+
+    def test_cli_status_url_unreachable_exits_1(self, capsys):
+        from repro.cli import main
+
+        assert main(["status", "--url", "http://127.0.0.1:9"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_cli_status_needs_path_or_url(self, capsys):
+        from repro.cli import main
+
+        assert main(["status"]) == 2

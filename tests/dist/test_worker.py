@@ -1,0 +1,284 @@
+"""Tests for the distributed worker loop, including the end-to-end
+two-workers-then-merge equivalence the subsystem exists to provide."""
+
+import time
+
+import pytest
+
+from repro.dist import Coordinator, DistWorker, LeaseRenewer, queue_root
+from repro.dist.queue import ShardQueue
+from repro.store import RunStore
+from repro.store.sync import merge_stores
+
+from tests.store.test_runstore import make_config, make_result
+
+
+def fake_run(config, timeout_s=None, attempt=1):
+    """Instant picklable stand-in for run_single."""
+    return make_result(config)
+
+
+@pytest.fixture
+def coord(tmp_path):
+    return RunStore(tmp_path / "coord")
+
+
+def enqueue(coord, n=4, shard_size=1, ttl_s=60.0):
+    configs = [make_config(seed=i) for i in range(n)]
+    report = Coordinator(coord, shard_size=shard_size, ttl_s=ttl_s).enqueue(configs)
+    return configs, report
+
+
+class TestWorkerLoop:
+    def test_drains_queue_and_stores_results(self, coord, tmp_path):
+        configs, enq = enqueue(coord, n=4)
+        store = RunStore(tmp_path / "w1")
+        report = DistWorker(
+            coord, store=store, run_fn=fake_run, worker_id="w1"
+        ).run()
+        assert report.shards_done == 4
+        assert report.executed == 4
+        assert report.failed == 0
+        assert all(config in store for config in configs)
+        assert ShardQueue.open(queue_root(coord, enq.campaign_id)).drained()
+
+    def test_results_already_stored_serve_as_cache_hits(self, coord, tmp_path):
+        configs, _ = enqueue(coord, n=3)
+        store = RunStore(tmp_path / "w1")
+        for config in configs:
+            store.put(config, make_result(config))
+        report = DistWorker(
+            coord, store=store, run_fn=fake_run, worker_id="w1"
+        ).run()
+        assert report.cache_hits == 3
+        assert report.executed == 0
+
+    def test_max_shards_stops_early(self, coord, tmp_path):
+        enqueue(coord, n=4)
+        report = DistWorker(
+            coord, store=RunStore(tmp_path / "w1"), run_fn=fake_run,
+            max_shards=2, worker_id="w1",
+        ).run()
+        assert report.shards_done == 2
+
+    def test_campaign_filter_ignores_other_queues(self, coord, tmp_path):
+        _, first = enqueue(coord, n=2)
+        other = [make_config(seed=10 + i) for i in range(2)]
+        second = Coordinator(coord, shard_size=1).enqueue(other)
+        report = DistWorker(
+            coord, store=RunStore(tmp_path / "w1"), run_fn=fake_run,
+            campaign=first.campaign_id, worker_id="w1",
+        ).run()
+        assert report.campaigns == [first.campaign_id]
+        assert not ShardQueue.open(
+            queue_root(coord, second.campaign_id)
+        ).drained()
+
+    def test_idle_timeout_exits_with_no_queues(self, coord):
+        ticks = iter(range(100))
+        report = DistWorker(
+            coord, run_fn=fake_run, worker_id="w1",
+            idle_timeout_s=3.0, poll_s=0.0,
+            sleep=lambda _: None, clock=lambda: float(next(ticks)),
+        ).run()
+        assert report.shards_done == 0
+
+    def test_worker_heartbeat_published(self, coord, tmp_path):
+        _, enq = enqueue(coord, n=1)
+        DistWorker(
+            coord, store=RunStore(tmp_path / "w1"), run_fn=fake_run,
+            worker_id="beat-test",
+        ).run()
+        workers = ShardQueue.open(
+            queue_root(coord, enq.campaign_id)
+        ).workers()
+        assert any(w["worker"] == "beat-test" for w in workers)
+
+    def test_chaos_spec_string_is_parsed_and_survived(self, coord, tmp_path):
+        # exc=1.0 faults every first attempt; retries=1 + once=True means
+        # every run still converges, with one retry charged per run.
+        enqueue(coord, n=2)
+        report = DistWorker(
+            coord, store=RunStore(tmp_path / "w1"), run_fn=fake_run,
+            chaos="exc=1.0,seed=3", retries=1, worker_id="w1",
+        ).run()
+        assert report.executed == 2
+        assert report.failed == 0
+        assert report.retries == 2
+
+    def test_bad_chaos_spec_raises(self, coord):
+        with pytest.raises(ValueError):
+            DistWorker(coord, chaos="nonsense=1")
+
+    def test_persistent_failures_recorded_not_fatal(self, coord, tmp_path):
+        # once=False exc=1.0: every attempt fails; partial mode records
+        # the failures in the shard completion instead of crashing the
+        # worker loop.
+        _, enq = enqueue(coord, n=2)
+        report = DistWorker(
+            coord, store=RunStore(tmp_path / "w1"), run_fn=fake_run,
+            chaos="exc=1.0,seed=3,once=false", retries=1, worker_id="w1",
+        ).run()
+        assert report.failed == 2
+        assert report.shards_done == 2  # shards complete, carrying the tally
+        status = ShardQueue.open(queue_root(coord, enq.campaign_id)).status()
+        assert status["failed"] == 2
+
+
+class TestLeaseRenewal:
+    def test_renewer_keeps_short_lease_alive(self, coord, tmp_path):
+        _, enq = enqueue(coord, n=1, ttl_s=0.4)
+        queue = ShardQueue.open(queue_root(coord, enq.campaign_id))
+        shard = queue.claim("w1")
+        renewer = LeaseRenewer(queue, shard.id, interval_s=0.1)
+        renewer.start()
+        try:
+            time.sleep(1.0)  # several TTLs
+            assert queue.expired() == []
+            assert queue.steal_expired() == []
+        finally:
+            renewer.stop()
+        assert not renewer.lost
+
+    def test_renewer_detects_steal(self, coord, tmp_path):
+        import os
+
+        _, enq = enqueue(coord, n=1, ttl_s=60.0)
+        queue = ShardQueue.open(queue_root(coord, enq.campaign_id))
+        shard = queue.claim("w1")
+        renewer = LeaseRenewer(queue, shard.id, interval_s=0.05)
+        renewer.start()
+        try:
+            path = queue.claimed_dir / f"{shard.id}.json"
+            os.rename(path, queue.pending_dir / f"{shard.id}.json")
+            time.sleep(0.3)
+            assert renewer.lost
+        finally:
+            renewer.stop()
+
+    def test_lost_shard_counted_as_lost_not_done(self, coord, tmp_path):
+        # The shard is stolen AND completed by the thief while this
+        # worker is still running it; this worker's completion must be
+        # the no-op.
+        _, enq = enqueue(coord, n=1)
+        queue = ShardQueue.open(queue_root(coord, enq.campaign_id))
+
+        def thieving_run(config, timeout_s=None, attempt=1):
+            sid = "shard-00000"
+            (queue.claimed_dir / f"{sid}.json").rename(
+                queue.done_dir / f"{sid}.json"
+            )
+            return make_result(config)
+
+        report = DistWorker(
+            coord, store=RunStore(tmp_path / "w1"), run_fn=thieving_run,
+            worker_id="w1",
+        ).run()
+        assert report.shards_lost == 1
+        assert report.shards_done == 0
+        assert queue.status()["done"] == ["shard-00000"]
+
+
+class TestEndToEndEquivalence:
+    """The PR's acceptance criterion, in-process: a campaign sharded
+    across two workers into separate stores, merged, reports
+    byte-identically to the same campaign run single-host."""
+
+    def test_two_workers_merge_matches_single_host(self, tmp_path, monkeypatch):
+        from repro.report import aggregate_store, get_formatter
+        from repro.store.scheduler import CampaignScheduler
+
+        def schedule(store, configs):
+            return CampaignScheduler(
+                store=store, run_fn=fake_run, heartbeat_interval=None
+            ).run(configs)
+
+        configs = [make_config(seed=i) for i in range(4)]
+
+        # Distributed: coordinator + 2 workers, separate result stores.
+        coord = RunStore(tmp_path / "coord")
+        enq = Coordinator(coord, shard_size=1).enqueue(configs)
+        store1 = RunStore(tmp_path / "w1")
+        store2 = RunStore(tmp_path / "w2")
+        r1 = DistWorker(coord, store=store1, run_fn=fake_run,
+                        max_shards=2, worker_id="w1").run()
+        r2 = DistWorker(coord, store=store2, run_fn=fake_run,
+                        worker_id="w2").run()
+        assert r1.executed == 2 and r2.executed == 2
+        assert ShardQueue.open(queue_root(coord, enq.campaign_id)).drained()
+
+        # Fold the worker stores into one.  The store paths must be the
+        # same *string* in both worlds for byte equality, hence the
+        # same-named relative roots under different parents.
+        (tmp_path / "m").mkdir()
+        monkeypatch.chdir(tmp_path / "m")
+        merged = RunStore("store")
+        assert merge_stores(merged, store1).clean
+        assert merge_stores(merged, store2).clean
+
+        # Single-host reference via the ordinary Campaign path.
+        (tmp_path / "s").mkdir()
+        monkeypatch.chdir(tmp_path / "s")
+        single = RunStore("store")
+        assert schedule(single, configs).executed == 4
+
+        fmt = get_formatter("json")
+        monkeypatch.chdir(tmp_path / "m")
+        merged_files = fmt(aggregate_store(RunStore("store")))
+        monkeypatch.chdir(tmp_path / "s")
+        single_files = fmt(aggregate_store(RunStore("store")))
+        assert merged_files == single_files  # byte-identical
+
+        # Same fingerprints, and a re-run executes zero simulations.
+        assert (
+            {e["fp"] for e in merged.ls()} == {e["fp"] for e in single.ls()}
+        )
+        rerun = schedule(merged, configs)
+        assert rerun.executed == 0
+        assert rerun.cache_hits == 4
+
+    def test_steal_then_duplicate_execution_still_merges_clean(
+        self, tmp_path
+    ):
+        # Worker 1 dies holding a lease after persisting its run; the
+        # shard is stolen and re-executed by worker 2 into another
+        # store.  The merge must classify the twice-executed
+        # fingerprint as a duplicate, not a conflict.
+        import os
+
+        coord = RunStore(tmp_path / "coord")
+        configs = [make_config(seed=i) for i in range(2)]
+        enq = Coordinator(coord, shard_size=1).enqueue(configs)
+        queue = ShardQueue.open(queue_root(coord, enq.campaign_id))
+
+        # "Worker 1": runs shard-00000's config, persists the result,
+        # then vanishes without completing (simulated by hand).
+        store1 = RunStore(tmp_path / "w1")
+        dead = queue.claim("w1")
+        config = [c for c in configs
+                  if queue_fp(c) == dead.fingerprints[0]][0]
+        store1.put(config, make_result(config))
+        path = queue.claimed_dir / f"{dead.id}.json"
+        stat = path.stat()
+        os.utime(path, (stat.st_atime - 999, stat.st_mtime - 999))
+
+        # Worker 2 steals and finishes everything.
+        store2 = RunStore(tmp_path / "w2")
+        report = DistWorker(coord, store=store2, run_fn=fake_run,
+                            worker_id="w2").run()
+        assert report.stolen == 1
+        assert report.executed == 2
+        assert queue.drained()
+
+        merged = RunStore(tmp_path / "merged")
+        assert merge_stores(merged, store1).clean
+        second = merge_stores(merged, store2)
+        assert second.clean
+        assert second.duplicates == 1
+        assert len(merged.ls()) == 2
+
+
+def queue_fp(config):
+    from repro.store.fingerprint import config_fingerprint
+
+    return config_fingerprint(config)

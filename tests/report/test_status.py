@@ -75,3 +75,50 @@ class TestProgressBar:
 
     def test_zero_total_is_unknown(self):
         assert "?" in render_progress_bar(0, 0, width=4)
+
+
+class TestEtaHardening:
+    """Satellite: degraded heartbeat records render 'eta —', never a
+    crash, never inf."""
+
+    def _status(self, last):
+        return {"campaign_id": "cafe01", "last": last, "records": [last]}
+
+    def _render(self, **fields):
+        last = {"phase": "running", "done": 0, "total": 10, **fields}
+        return render_status(self._status(last), history=1)
+
+    def test_null_eta_renders_dash(self):
+        text = self._render(eta_s=None, runs_per_s=None)
+        assert "eta —" in text
+        assert "inf" not in text
+
+    def test_zero_rate_renders_dash(self):
+        # A stalled campaign: no progress, rate 0 -> unknowable ETA.
+        text = self._render(eta_s=0.0, runs_per_s=0.0)
+        assert "eta —" in text
+
+    def test_infinite_eta_renders_dash(self):
+        text = self._render(eta_s=float("inf"), runs_per_s=0.5)
+        assert "eta —" in text
+        assert "inf" not in text
+
+    def test_nan_rate_renders_dash(self):
+        text = self._render(eta_s=float("nan"), runs_per_s=float("nan"))
+        assert "eta —" in text
+        assert "nan" not in text
+
+    def test_junk_typed_fields_do_not_crash(self):
+        text = self._render(eta_s="soon", runs_per_s=True,
+                            cache_hit_rate="lots")
+        assert "eta —" in text
+
+    def test_missing_fields_entirely_do_not_crash(self):
+        # A foreign writer (older build, remote worker) omitting every
+        # optional field must still render.
+        text = render_status(self._status({}), history=1)
+        assert "campaign cafe01" in text
+
+    def test_healthy_record_still_shows_real_eta(self):
+        text = self._render(eta_s=90.0, runs_per_s=2.0)
+        assert "eta 1.5m" in text
