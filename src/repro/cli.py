@@ -330,17 +330,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
     dist_work = dist_sub.add_parser(
         "work",
-        help="worker loop: claim shards from a coordinator store, run "
-             "them through the scheduler, renew leases, heartbeat",
+        help="worker loop: claim shards from a coordinator store or a "
+             "dist-serve endpoint, run them through the scheduler, "
+             "renew leases, heartbeat",
     )
     dist_work.add_argument(
-        "queue_store",
-        help="coordinator store directory (where the shard queues live)",
+        "queue_store", nargs="?", default=None,
+        help="coordinator store directory (where the shard queues "
+             "live); omit when claiming over HTTP with --queue-url",
+    )
+    dist_work.add_argument(
+        "--queue-url", metavar="URL", default=None,
+        help="claim shards from a 'dist serve' endpoint instead of a "
+             "shared directory; results run against --store (required) "
+             "and finished objects are pushed back over HTTP",
     )
     dist_work.add_argument(
         "--store", metavar="DIR", default=None,
         help="result store for this worker (default: the coordinator "
-             "store itself -- the shared-directory deployment)",
+             "store itself -- the shared-directory deployment; "
+             "required with --queue-url)",
     )
     dist_work.add_argument(
         "--campaign", metavar="ID", default=None,
@@ -389,8 +398,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     dist_serve = dist_sub.add_parser(
         "serve",
-        help="publish a store's campaign heartbeats + queue state as a "
-             "JSON HTTP API (/status, /campaigns/<id>, /workers)",
+        help="publish a store's campaign state AND queue API over HTTP: "
+             "GET /status, /workers, /campaigns/<id>[/spec|/queue], "
+             "GET|PUT /objects/<fp>, POST /campaigns/<id>/"
+             "{claim,renew,complete,fail,beat} -- the --queue-url side",
     )
     dist_serve.add_argument("path", help="store directory")
     dist_serve.add_argument("--host", default="127.0.0.1")
@@ -1052,9 +1063,23 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         return 1 if final["failed"] else 0
 
     if args.dist_command == "work":
+        if (args.queue_store is None) == (args.queue_url is None):
+            print("error: dist work needs exactly one queue source: a "
+                  "coordinator store directory, or --queue-url",
+                  file=sys.stderr)
+            return 2
+        if args.queue_url is not None and args.store is None:
+            print("error: --queue-url needs --store (the worker's own "
+                  "result store; there is no shared directory to default "
+                  "to)", file=sys.stderr)
+            return 2
         try:
-            coord_store = RunStore(args.queue_store)
-            store = RunStore(args.store) if args.store else coord_store
+            coord_store = (
+                RunStore(args.queue_store) if args.queue_store else None
+            )
+            store = (
+                RunStore(args.store) if args.store else coord_store
+            )
         except (OSError, ValueError, StoreVersionError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -1062,6 +1087,7 @@ def _cmd_dist(args: argparse.Namespace) -> int:
             worker = DistWorker(
                 coord_store,
                 store=store,
+                queue_url=args.queue_url,
                 campaign=args.campaign,
                 worker_id=args.worker_id,
                 inner_workers=args.workers,
@@ -1086,7 +1112,8 @@ def _cmd_dist(args: argparse.Namespace) -> int:
                       f"{shard_report.executed} executed, "
                       f"{shard_report.cache_hits} cached, "
                       f"{len(shard_report.failures)} failed")
-            print(f"worker {worker.worker_id}: serving {args.queue_store} "
+            source = args.queue_url or args.queue_store
+            print(f"worker {worker.worker_id}: serving {source} "
                   f"-> {store.root}")
         try:
             report = worker.run(progress=progress)
@@ -1097,11 +1124,20 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         if args.json:
             print(json.dumps(report.to_dict()))
         else:
+            shipping = (
+                f" | {report.pulled} pulled, {report.pushed} pushed"
+                + (f", {report.push_conflicts} push conflict(s)"
+                   if report.push_conflicts else "")
+            ) if args.queue_url else ""
             print(f"worker {report.worker_id}: {report.shards_done} shard(s) "
                   f"done, {report.shards_lost} lost | {report.executed} "
                   f"executed, {report.cache_hits} cached, "
-                  f"{report.failed} failed | {report.stolen} lease(s) stolen")
-        return 1 if report.failed else 0
+                  f"{report.failed} failed | {report.stolen} lease(s) stolen"
+                  f"{shipping}")
+        # A push conflict means the service refused an object that
+        # disagrees with its store -- version skew or corruption; the
+        # worker must not exit clean over it.
+        return 1 if (report.failed or report.push_conflicts) else 0
 
     # serve
     try:
@@ -1116,7 +1152,9 @@ def _cmd_dist(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     print(f"serving {store.root} at {service.url} "
-          "(routes: /status, /campaigns/<id>, /workers; ctrl-c to stop)")
+          "(GET /status /workers /campaigns/<id>[/spec|/queue] "
+          "/objects/<fp>; POST claim/renew/complete/fail/beat; "
+          "PUT /objects/<fp>; ctrl-c to stop)")
     try:
         service.serve_forever()
     except KeyboardInterrupt:

@@ -15,9 +15,13 @@ beyond a shared (or merged) filesystem:
   shards through the existing
   :class:`~repro.store.scheduler.CampaignScheduler` (retries, timeouts,
   chaos) into the worker's own store.
-- :mod:`repro.dist.service` -- ``dist serve``: heartbeat + queue state
-  as a stdlib HTTP JSON API, with ``repro-gsnet status --url`` as the
-  client.
+- :mod:`repro.dist.transport` -- pluggable queue access: the shared
+  directory (:class:`FileTransport`) or a ``dist serve`` endpoint
+  (:class:`HttpTransport`) for workers with no shared filesystem.
+- :mod:`repro.dist.service` -- ``dist serve``: the queue API (claim /
+  renew / complete / fail, object push/pull) plus heartbeat + queue
+  state as a stdlib HTTP JSON API, with ``repro-gsnet status --url``
+  as the read client.
 
 The design leans entirely on the content-addressed store: a run's
 fingerprint is its work-unit id, "already stored" is the only
@@ -42,6 +46,7 @@ from repro.dist.service import (
     service_snapshot,
     workers_snapshot,
 )
+from repro.dist.transport import FileTransport, HttpTransport, TransportError
 from repro.dist.worker import DistWorker, LeaseRenewer, WorkerReport
 
 __all__ = [
@@ -49,10 +54,13 @@ __all__ = [
     "Coordinator",
     "DistWorker",
     "EnqueueReport",
+    "FileTransport",
+    "HttpTransport",
     "LeaseRenewer",
     "QueueError",
     "Shard",
     "ShardQueue",
+    "TransportError",
     "WatchTimeout",
     "WorkerReport",
     "campaign_snapshot",

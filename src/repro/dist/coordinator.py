@@ -179,6 +179,8 @@ class Coordinator:
         try:
             while True:
                 stolen = queue.steal_expired() if steal else []
+                if steal:
+                    queue.gc_leases()  # sweep sidecars orphaned by races
                 status = queue.status()
                 status["stolen_now"] = stolen
                 done = status["cached_runs"] + status["done_runs"]

@@ -5,27 +5,38 @@ fingerprints plus the config identities that produce them.  Shards live
 as JSON files under the coordinator store::
 
     <store>/campaigns/<id>/queue/
-      spec.json            # campaign spec: totals, shard map, lease TTL
-      pending/<sid>.json   # unclaimed shards
-      claimed/<sid>.json   # leased shards; file mtime = last renewal
-      done/<sid>.json      # completed shards
-      done/<sid>.info.json # winner's completion record (best effort)
-      workers/<wid>.json   # worker heartbeats (atomic rewrites)
+      spec.json                  # campaign spec: totals, shard map, TTL
+      pending/<sid>.json         # unclaimed shards
+      claimed/<sid>.json         # leased shards
+      claimed/<sid>.lease.json   # lease record: worker, deadline, renewals
+      done/<sid>.json            # completed shards
+      done/<sid>.info.json       # winner's completion record (best effort)
+      workers/<wid>.json         # worker heartbeats (atomic rewrites)
+      failures.jsonl             # released-with-error trail (append-only)
 
 Every state transition is a single ``os.rename`` of the shard file
 itself -- ``pending -> claimed`` (claim), ``claimed -> pending`` (steal
-after lease expiry), ``claimed -> done`` (completion) -- so exactly one
-mover wins any race (the losers get ``FileNotFoundError`` and move on)
-and a crash mid-transition can never duplicate or lose a shard.
+after lease expiry, or an explicit release), ``claimed -> done``
+(completion) -- so exactly one mover wins any race (the losers get
+``FileNotFoundError`` and move on) and a crash mid-transition can never
+duplicate or lose a shard.
 
-Leases are TTL-based: a worker renews its claim by touching the claimed
-file's mtime (``os.utime``), and anyone -- an idle worker, the watching
-coordinator -- may steal a claim whose mtime has gone stale by renaming
-it back to ``pending/``.  A stolen worker that later finishes anyway is
-harmless: results are content-addressed in the run store, so the queue's
-job is only to make sure every shard is *eventually* completed and
-counted **once** -- the first ``done/`` rename wins, every later
-completion attempt is a detected no-op (see
+Leases are TTL-based and carry their own clock: claim and renew write
+an explicit **deadline** (``clock() + ttl``) into the ``.lease.json``
+sidecar, so expiry never depends on file mtimes -- which break under
+cross-host clock skew and coarse-granularity filesystems.  Whoever
+performs the mutation supplies the clock: in the shared-directory
+deployment that is the claiming worker, and in the HTTP deployment
+every lease mutation happens server-side, so deadlines and expiry
+checks share one clock (the ``renewals`` counter in the sidecar is the
+monotonic stamp of that server-side lease history).  Anyone -- an idle
+worker, the watching coordinator -- may steal a claim whose deadline
+has passed by renaming it back to ``pending/``; a sidecar missing or
+torn mid-write falls back to the claimed file's mtime.  A stolen worker
+that later finishes anyway is harmless: results are content-addressed
+in the run store, so the queue's job is only to make sure every shard
+is *eventually* completed and counted **once** -- the first ``done/``
+rename wins, every later completion attempt is a detected no-op (see
 :meth:`ShardQueue.complete`).
 
 The queue deliberately has no server and no locks beyond rename
@@ -105,9 +116,10 @@ class ShardQueue:
     Args:
         root: the ``.../queue`` directory.
         ttl_s: lease time-to-live; ``None`` reads it from ``spec.json``.
-        clock: epoch-seconds injection point (lease expiry compares the
-            claimed file's mtime against this clock, so tests can age
-            leases with ``os.utime`` instead of sleeping).
+        clock: epoch-seconds injection point.  Lease deadlines are
+            written as ``clock() + ttl`` at claim/renew time and expiry
+            compares stored deadlines against the same clock, so tests
+            age leases by injecting a clock instead of sleeping.
     """
 
     def __init__(self, root: str | Path, ttl_s: float | None = None, clock=time.time):
@@ -117,6 +129,7 @@ class ShardQueue:
         self.claimed_dir = self.root / "claimed"
         self.done_dir = self.root / "done"
         self.workers_dir = self.root / "workers"
+        self.failures_path = self.root / "failures.jsonl"
         self._clock = clock
         self._spec: dict | None = None
         self._ttl_override = ttl_s
@@ -229,13 +242,17 @@ class ShardQueue:
                 continue  # lost the race for this shard
             except OSError:
                 continue  # e.g. a concurrent gc of the queue dir
-            os.utime(target)  # lease starts now, whatever pending's mtime was
+            # Lease starts now: mtime for the sidecar-less fallback
+            # window, then the explicit deadline record.
+            os.utime(target)
+            self._write_lease(path.stem, worker_id, renewals=0)
             try:
                 data = json.loads(target.read_text())
             except ValueError:
                 # A torn shard file cannot be run; park it in done/ as
                 # damaged rather than ping-ponging between workers.
                 os.rename(target, self.done_dir / f"{path.stem}.json")
+                self._drop_lease(path.stem)
                 _atomic_write_text(
                     self.done_dir / f"{path.stem}.info.json",
                     json.dumps({"shard": path.stem, "worker": worker_id,
@@ -250,19 +267,54 @@ class ShardQueue:
             )
         return None
 
-    def renew(self, shard_id: str) -> bool:
-        """Refresh the lease; False means the claim was stolen/completed."""
+    def renew(self, shard_id: str, worker_id: str | None = None) -> bool:
+        """Refresh the lease; False means the claim is no longer renewable.
+
+        A renewal writes a fresh deadline (``clock() + ttl``) into the
+        lease sidecar.  With ``worker_id`` given, the renewal is keyed
+        to the lease holder: after a steal *and* a re-claim by another
+        worker, the original worker's renew is rejected instead of
+        silently refreshing somebody else's lease.  A steal racing this
+        renewal surfaces as ``FileNotFoundError`` on the claimed file
+        and is reported as a lost lease, never raised.
+        """
+        name = f"{shard_id}.json"
+        lease = self.lease(shard_id)
+        if (
+            lease is not None
+            and worker_id is not None
+            and lease.get("worker") not in (None, worker_id)
+        ):
+            return False  # stolen and re-claimed: the lease has a new owner
         try:
-            os.utime(self.claimed_dir / f"{shard_id}.json")
-            return True
+            # mtime tracks the renewal too, so the sidecar-less fallback
+            # (torn lease record) stays conservative.
+            os.utime(self.claimed_dir / name)
         except FileNotFoundError:
-            return False
+            return False  # stolen or completed while we were deciding
+        renewals = int(lease.get("renewals", 0)) + 1 if lease else 1
+        owner = worker_id if worker_id is not None else (
+            (lease or {}).get("worker")
+        )
+        self._write_lease(shard_id, owner, renewals=renewals)
+        return True
 
     def expired(self) -> list[str]:
-        """Claimed shards whose lease has outlived the TTL."""
+        """Claimed shards whose lease deadline has passed.
+
+        The deadline stored in the lease sidecar is authoritative; a
+        claim whose sidecar is missing or torn (crash between the claim
+        rename and the lease write, or a legacy queue) falls back to
+        the claimed file's mtime plus the TTL.
+        """
         stale = []
         now = self._clock()
         for path in self._shard_files(self.claimed_dir):
+            lease = self.lease(path.stem)
+            if lease is not None and "deadline" in lease:
+                if now > float(lease["deadline"]):
+                    stale.append(path.stem)
+                continue
             try:
                 mtime = path.stat().st_mtime
             except OSError:
@@ -275,7 +327,10 @@ class ShardQueue:
         """Move expired claims back to pending; returns what was stolen.
 
         Safe to call from any process: the rename races exactly like
-        :meth:`claim`, so concurrent stealers cannot duplicate a shard.
+        :meth:`claim`, so concurrent stealers cannot duplicate a shard,
+        and a renew racing the steal at worst leaves an orphan lease
+        sidecar (dropped here and by :meth:`gc_leases`, and rewritten
+        wholesale by the next claim).
         """
         stolen = []
         for sid in self.expired():
@@ -284,8 +339,36 @@ class ShardQueue:
                 os.rename(self.claimed_dir / name, self.pending_dir / name)
             except FileNotFoundError:
                 continue  # renewed, completed, or stolen by someone else
+            self._drop_lease(sid)
             stolen.append(sid)
         return stolen
+
+    def release(self, shard_id: str, worker_id: str | None = None,
+                error: str | None = None) -> bool:
+        """Hand a claimed shard back to pending without waiting for TTL.
+
+        The explicit give-back a worker uses when it cannot finish a
+        shard (scheduler blew up, shutdown requested): the next claimant
+        retries immediately instead of after lease expiry.  ``error`` is
+        appended to the queue's ``failures.jsonl`` trail (best effort).
+        Returns False when the shard was not claimed (already stolen,
+        released, or completed).
+        """
+        name = f"{shard_id}.json"
+        try:
+            os.rename(self.claimed_dir / name, self.pending_dir / name)
+        except FileNotFoundError:
+            return False
+        self._drop_lease(shard_id)
+        if error is not None:
+            record = {"shard": shard_id, "worker": worker_id,
+                      "error": str(error)[:500], "ts": self._clock()}
+            try:
+                with open(self.failures_path, "a") as fh:
+                    fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            except OSError:  # pragma: no cover - queue being torn down
+                pass
+        return True
 
     def complete(self, shard_id: str, worker_id: str | None = None,
                  info: dict | None = None) -> bool:
@@ -309,6 +392,7 @@ class ShardQueue:
                 continue
         else:
             return False
+        self._drop_lease(shard_id)
         if info is not None or worker_id is not None:
             record = {"shard": shard_id, "worker": worker_id,
                       "ts": self._clock(), **(info or {})}
@@ -316,6 +400,60 @@ class ShardQueue:
                 self.done_dir / f"{shard_id}.info.json", json.dumps(record)
             )
         return True
+
+    # ------------------------------------------------------------------
+    # Lease records
+    # ------------------------------------------------------------------
+    def _lease_path(self, shard_id: str) -> Path:
+        return self.claimed_dir / f"{shard_id}.lease.json"
+
+    def _write_lease(self, shard_id: str, worker_id: str | None,
+                     renewals: int) -> None:
+        now = self._clock()
+        _atomic_write_text(
+            self._lease_path(shard_id),
+            json.dumps({
+                "shard": shard_id,
+                "worker": worker_id,
+                "deadline": now + self.ttl_s,
+                "renewals": renewals,
+                "ts": now,
+            }, separators=(",", ":")),
+        )
+
+    def _drop_lease(self, shard_id: str) -> None:
+        try:
+            self._lease_path(shard_id).unlink()
+        except OSError:
+            pass  # never written, or already dropped by a racing mover
+
+    def lease(self, shard_id: str) -> dict | None:
+        """The current lease record, or None when missing/torn."""
+        try:
+            return json.loads(self._lease_path(shard_id).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def gc_leases(self) -> int:
+        """Drop lease sidecars whose claimed shard file is gone.
+
+        A renew racing a steal can recreate a sidecar after the shard
+        left ``claimed/``; such orphans are inert (expiry reads shard
+        files first) but this janitor keeps the directory clean.  Safe
+        from any process; returns how many orphans were removed.
+        """
+        if not self.claimed_dir.is_dir():
+            return 0
+        removed = 0
+        for path in sorted(self.claimed_dir.glob("*.lease.json")):
+            sid = path.name[: -len(".lease.json")]
+            if not (self.claimed_dir / f"{sid}.json").exists():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue  # claimed again (new sidecar) or gone already
+        return removed
 
     # ------------------------------------------------------------------
     # Worker presence
@@ -374,6 +512,13 @@ class ShardQueue:
             for key in totals:
                 totals[key] += int(info.get(key, 0))
         runs = lambda sids: sum(shard_runs.get(sid, 0) for sid in sids)  # noqa: E731
+        leases = {}
+        for sid in claimed:
+            lease = self.lease(sid)
+            if lease is not None:
+                leases[sid] = {"worker": lease.get("worker"),
+                               "deadline": lease.get("deadline"),
+                               "renewals": lease.get("renewals")}
         return {
             "campaign_id": spec["campaign_id"],
             "total_runs": int(spec["total_runs"]),
@@ -383,6 +528,7 @@ class ShardQueue:
             "pending": pending,
             "claimed": claimed,
             "done": done,
+            "leases": leases,
             "pending_runs": runs(pending),
             "claimed_runs": runs(claimed),
             "done_runs": runs(done),

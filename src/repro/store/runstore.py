@@ -140,6 +140,47 @@ class RunStore:
         return RunResult.from_dict(data)
 
     # ------------------------------------------------------------------
+    # Raw object transfer (the network-transport surface)
+    # ------------------------------------------------------------------
+    def object_bytes(self, fp: str) -> tuple[bytes, bytes] | None:
+        """One object's raw ``(meta.json, arrays.npz)`` bytes, or None.
+
+        The read half of object shipping: callers bundle these bytes
+        (see :func:`repro.store.sync.pack_object`) and push them to a
+        remote store without deserialising the result in between.
+        """
+        obj = self._object_dir(fp)
+        try:
+            return (obj / "meta.json").read_bytes(), \
+                (obj / "arrays.npz").read_bytes()
+        except OSError:
+            return None
+
+    def install_object(self, fp: str, entry: dict,
+                       meta_bytes: bytes, npz_bytes: bytes) -> None:
+        """Write one object's raw bytes and index it in the manifest.
+
+        The write half of object shipping: both files land via the
+        store's temp+rename discipline, then the manifest entry is
+        appended -- the same publication order :meth:`put` uses, so a
+        crash mid-install leaves tmp litter for ``gc``, never a torn
+        object.  Callers own validation (see
+        :func:`repro.store.sync.receive_object`).
+        """
+        obj = self._object_dir(fp)
+        obj.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(obj / "arrays.npz", npz_bytes)
+        _atomic_write_bytes(obj / "meta.json", meta_bytes)
+        self._append_manifest(entry)
+
+    def manifest_entry(self, fp: str) -> dict | None:
+        """The manifest entry for one fingerprint, or None."""
+        for entry in self.ls():
+            if entry["fp"] == fp:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
     # Manifest operations
     # ------------------------------------------------------------------
     def _append_manifest(self, entry: dict) -> None:
@@ -358,6 +399,21 @@ def _atomic_write_text(path: Path, text: str) -> None:
     try:
         with os.fdopen(fd, "w") as fh:
             fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Publish raw bytes at ``path`` via same-directory temp + rename."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)

@@ -23,10 +23,19 @@ After copying, the destination manifest is rewritten atomically as the
 union (deduplicated, destination entries winning) and the cached
 ``index.json`` is invalidated.  ``push``/``pull`` are directional
 conveniences over the same merge.
+
+The same classification runs one object at a time for the network
+transport: :func:`pack_object`/:func:`unpack_object` frame an object's
+manifest entry plus its two files into a single byte string (the body
+of ``PUT /objects/<fp>``), and :func:`receive_object` applies exactly
+the merge rules above to one incoming object -- stored, duplicate, or
+conflict -- so an HTTP push can never corrupt a store a directory
+merge would have kept sound.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import shutil
 from dataclasses import dataclass, field
@@ -39,9 +48,25 @@ from repro.store.runstore import (
     RunStore,
     _ARRAY_FIELDS,
     _atomic_write_text,
+    _fingerprint_of_meta,
 )
 
-__all__ = ["MergeReport", "merge_stores", "push_store", "pull_store"]
+__all__ = [
+    "MergeReport",
+    "merge_stores",
+    "pack_object",
+    "pull_store",
+    "push_store",
+    "receive_object",
+    "unpack_object",
+]
+
+#: Leading magic of a packed object bundle; bump with the layout.
+OBJECT_BUNDLE_MAGIC = b"RGSO1"
+
+#: Refuse bundles beyond this size (a run's npz is a few hundred KB;
+#: this is a 3-orders-of-magnitude safety margin, not a quota).
+MAX_BUNDLE_BYTES = 256 * 1024 * 1024
 
 #: ``meta.json`` fields that record *how* a run executed, not *what* it
 #: produced.  Two honest executions of the same fingerprint on different
@@ -134,12 +159,7 @@ def _copy_object(src_dir: Path, dst_dir: Path) -> None:
 
 
 def _objects_equal(a_dir: Path, b_dir: Path) -> bool:
-    """Whether two stored objects represent the same run result.
-
-    Fast path: byte-identical files.  Slow path: equal metadata after
-    dropping provenance, and element-equal arrays -- the comparison two
-    honest executions of a deterministic simulation must pass.
-    """
+    """Whether two stored objects represent the same run result."""
     try:
         a_meta_raw = (a_dir / "meta.json").read_bytes()
         b_meta_raw = (b_dir / "meta.json").read_bytes()
@@ -147,6 +167,17 @@ def _objects_equal(a_dir: Path, b_dir: Path) -> bool:
         b_npz_raw = (b_dir / "arrays.npz").read_bytes()
     except OSError:
         return False
+    return _payloads_equal(a_meta_raw, a_npz_raw, b_meta_raw, b_npz_raw)
+
+
+def _payloads_equal(a_meta_raw: bytes, a_npz_raw: bytes,
+                    b_meta_raw: bytes, b_npz_raw: bytes) -> bool:
+    """Whether two object payloads represent the same run result.
+
+    Fast path: byte-identical files.  Slow path: equal metadata after
+    dropping provenance, and element-equal arrays -- the comparison two
+    honest executions of a deterministic simulation must pass.
+    """
     if a_meta_raw == b_meta_raw and a_npz_raw == b_npz_raw:
         return True
     try:
@@ -160,11 +191,108 @@ def _objects_equal(a_dir: Path, b_dir: Path) -> bool:
     if a_meta != b_meta:
         return False
     try:
-        with np.load(a_dir / "arrays.npz") as a_npz, \
-                np.load(b_dir / "arrays.npz") as b_npz:
+        with np.load(io.BytesIO(a_npz_raw)) as a_npz, \
+                np.load(io.BytesIO(b_npz_raw)) as b_npz:
             for name in _ARRAY_FIELDS:
                 if not np.array_equal(a_npz[name], b_npz[name]):
                     return False
     except (OSError, ValueError, KeyError):
         return False
     return True
+
+
+# ----------------------------------------------------------------------
+# Single-object shipping (the HTTP transport's payload)
+# ----------------------------------------------------------------------
+def pack_object(entry: dict, meta_bytes: bytes, npz_bytes: bytes) -> bytes:
+    """Frame one object (manifest entry + both files) into bytes.
+
+    Layout: 5-byte magic, 4-byte big-endian header length, a JSON
+    header carrying the manifest entry and both payload lengths, then
+    the raw ``meta.json`` and ``arrays.npz`` bytes back to back.  The
+    inverse is :func:`unpack_object`.
+    """
+    header = json.dumps({
+        "entry": entry,
+        "meta_len": len(meta_bytes),
+        "npz_len": len(npz_bytes),
+    }, separators=(",", ":")).encode()
+    return b"".join((
+        OBJECT_BUNDLE_MAGIC,
+        len(header).to_bytes(4, "big"),
+        header,
+        meta_bytes,
+        npz_bytes,
+    ))
+
+
+def unpack_object(data: bytes) -> tuple[dict, bytes, bytes]:
+    """Split a packed bundle into ``(entry, meta_bytes, npz_bytes)``.
+
+    Raises ``ValueError`` on any framing problem -- wrong magic,
+    truncated header, or payload lengths that disagree with the body --
+    so a torn upload is rejected whole instead of half-installed.
+    """
+    if len(data) > MAX_BUNDLE_BYTES:
+        raise ValueError(f"object bundle exceeds {MAX_BUNDLE_BYTES} bytes")
+    magic = data[: len(OBJECT_BUNDLE_MAGIC)]
+    if magic != OBJECT_BUNDLE_MAGIC:
+        raise ValueError(f"not an object bundle (magic {magic!r})")
+    offset = len(OBJECT_BUNDLE_MAGIC)
+    header_len = int.from_bytes(data[offset:offset + 4], "big")
+    offset += 4
+    try:
+        header = json.loads(data[offset:offset + header_len])
+    except ValueError as exc:
+        raise ValueError(f"torn bundle header: {exc}") from exc
+    offset += header_len
+    meta_len = int(header["meta_len"])
+    npz_len = int(header["npz_len"])
+    if len(data) - offset != meta_len + npz_len:
+        raise ValueError(
+            f"bundle body is {len(data) - offset} bytes, "
+            f"header promises {meta_len + npz_len}"
+        )
+    meta_bytes = data[offset:offset + meta_len]
+    npz_bytes = data[offset + meta_len:]
+    entry = header.get("entry")
+    if not isinstance(entry, dict) or "fp" not in entry:
+        raise ValueError("bundle header lacks a manifest entry")
+    return entry, meta_bytes, npz_bytes
+
+
+def receive_object(store: RunStore, fp: str, entry: dict,
+                   meta_bytes: bytes, npz_bytes: bytes) -> str:
+    """Apply one pushed object to a store under the merge rules.
+
+    Returns ``"stored"`` (new object installed and indexed),
+    ``"duplicate"`` (already present and provably the same result;
+    the store's copy is kept), or ``"conflict"`` (present but
+    *different* -- the store's copy is kept and the caller must
+    surface the disagreement, exactly like a directory merge).
+
+    Raises ``ValueError`` when the push is internally inconsistent:
+    entry/URL fingerprint mismatch, or metadata that does not
+    fingerprint to ``fp`` (a corrupt or mis-addressed upload must
+    never enter the store).
+    """
+    if entry.get("fp") != fp:
+        raise ValueError(
+            f"bundle entry is for {entry.get('fp')!r}, not {fp!r}"
+        )
+    try:
+        meta = json.loads(meta_bytes)
+        recomputed = _fingerprint_of_meta(meta)
+    except (ValueError, KeyError) as exc:
+        raise ValueError(f"unreadable object metadata: {exc}") from exc
+    if recomputed != fp:
+        raise ValueError(
+            f"object metadata fingerprints to {recomputed}, not {fp}"
+        )
+    existing = store.object_bytes(fp)
+    if existing is not None:
+        if _payloads_equal(existing[0], existing[1], meta_bytes, npz_bytes):
+            return "duplicate"
+        return "conflict"
+    store.install_object(fp, entry, meta_bytes, npz_bytes)
+    return "stored"

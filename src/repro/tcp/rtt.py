@@ -49,9 +49,10 @@ class RttEstimator:
     @property
     def rto(self) -> float:
         """Current retransmission timeout."""
-        if self.srtt is None:
-            return 1.0  # RFC 6298 initial RTO
-        rto = self.srtt + _K * self.rttvar
+        # The RFC 6298 initial RTO (1 s before any sample) is subject to
+        # the same [min_rto, max_rto] clamp as every later value, so a
+        # sub-second max_rto is honoured from the first timeout on.
+        rto = 1.0 if self.srtt is None else self.srtt + _K * self.rttvar
         return min(self.max_rto, max(self.min_rto, rto))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

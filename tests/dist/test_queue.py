@@ -116,13 +116,24 @@ class TestClaim:
         assert info["damaged"] is True
 
 
+def _backdate(queue, sid, by_s):
+    """Age a lease: pull its recorded deadline (and the claim mtime,
+    for the sidecar-less fallback path) into the past."""
+    path = queue.claimed_dir / f"{sid}.json"
+    stat = path.stat()
+    os.utime(path, (stat.st_atime - by_s, stat.st_mtime - by_s))
+    lease_path = queue.claimed_dir / f"{sid}.lease.json"
+    if lease_path.exists():
+        lease = json.loads(lease_path.read_text())
+        lease["deadline"] -= by_s
+        lease_path.write_text(json.dumps(lease))
+
+
 class TestLeaseLifecycle:
     """Satellite: claim -> expire -> steal -> double-completion."""
 
     def _backdate(self, queue, sid, by_s):
-        path = queue.claimed_dir / f"{sid}.json"
-        stat = path.stat()
-        os.utime(path, (stat.st_atime - by_s, stat.st_mtime - by_s))
+        _backdate(queue, sid, by_s)
 
     def test_fresh_lease_not_expired(self, queue):
         queue.claim("w1")
@@ -182,6 +193,179 @@ class TestLeaseLifecycle:
 
     def test_complete_unknown_shard_is_noop(self, queue):
         assert queue.complete("shard-99999", "w1") is False
+
+
+class FakeClock:
+    def __init__(self, now=1_000_000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestLeaseClock:
+    """Satellite: deadlines live in the lease record, not in mtimes."""
+
+    @pytest.fixture
+    def clock(self):
+        return FakeClock()
+
+    @pytest.fixture
+    def queue(self, tmp_path, clock):
+        return ShardQueue.create(
+            tmp_path / "queue", campaign_id="cafe01",
+            shards=make_shards(), cached_runs=0, total_runs=6,
+            ttl_s=60.0, clock=clock,
+        )
+
+    def test_claim_writes_deadline_sidecar(self, queue, clock):
+        shard = queue.claim("w1")
+        lease = queue.lease(shard.id)
+        assert lease["worker"] == "w1"
+        assert lease["deadline"] == pytest.approx(clock.now + 60.0)
+        assert lease["renewals"] == 0
+
+    def test_expiry_follows_injected_clock_not_mtime(self, queue, clock):
+        # The claim file's mtime is *wall* time (~2026), eons past the
+        # fake clock -- under mtime-based expiry this lease would read
+        # as fresh forever on a fast clock, or stolen instantly under
+        # skew.  The sidecar deadline decouples expiry from the fs.
+        shard = queue.claim("w1")
+        clock.now += 59.0
+        assert queue.expired() == []
+        clock.now += 2.0
+        assert queue.expired() == [shard.id]
+        assert queue.steal_expired() == [shard.id]
+        assert queue.lease(shard.id) is None  # steal drops the sidecar
+
+    def test_renew_advances_deadline_and_stamp(self, queue, clock):
+        shard = queue.claim("w1")
+        clock.now += 50.0
+        assert queue.renew(shard.id, "w1") is True
+        lease = queue.lease(shard.id)
+        assert lease["deadline"] == pytest.approx(clock.now + 60.0)
+        assert lease["renewals"] == 1
+        assert queue.renew(shard.id, "w1") is True
+        assert queue.lease(shard.id)["renewals"] == 2  # monotonic stamp
+
+    def test_renew_rejected_for_non_owner(self, queue, clock):
+        shard = queue.claim("w1")
+        clock.now += 61.0
+        queue.steal_expired()
+        assert queue.claim("w2").id == shard.id
+        # w1's renewer fires after the steal+reclaim: rejected, w2's
+        # lease untouched.
+        assert queue.renew(shard.id, "w1") is False
+        assert queue.lease(shard.id)["worker"] == "w2"
+
+    def test_renew_without_owner_keeps_legacy_semantics(self, queue):
+        shard = queue.claim("w1")
+        assert queue.renew(shard.id) is True  # ownerless renew: allowed
+        assert queue.lease(shard.id)["worker"] == "w1"  # owner preserved
+
+    def test_mtime_fallback_when_sidecar_torn(self, queue, clock, tmp_path):
+        # Crash between the claim rename and the lease write (or a
+        # legacy queue): expiry falls back to mtime + TTL.
+        shard = queue.claim("w1")
+        (queue.claimed_dir / f"{shard.id}.lease.json").unlink()
+        assert queue.expired() == []  # fresh mtime: not expired
+        path = queue.claimed_dir / f"{shard.id}.json"
+        stat = path.stat()
+        os.utime(path, (stat.st_atime - 120, stat.st_mtime - 120))
+        clock.now = stat.st_mtime  # fallback compares clock vs mtime
+        assert queue.expired() == [shard.id]
+
+    def test_release_hands_back_and_records_failure(self, queue):
+        shard = queue.claim("w1")
+        assert queue.release(shard.id, "w1", error="scheduler blew up")
+        assert (queue.pending_dir / f"{shard.id}.json").exists()
+        assert queue.lease(shard.id) is None
+        record = json.loads(queue.failures_path.read_text().splitlines()[0])
+        assert record["shard"] == shard.id
+        assert record["worker"] == "w1"
+        assert "blew up" in record["error"]
+        # Releasing an unclaimed shard is a detected no-op.
+        assert queue.release(shard.id, "w1") is False
+
+    def test_gc_leases_sweeps_orphans(self, queue):
+        shard = queue.claim("w1")
+        queue.complete(shard.id, "w1")
+        # Simulate a renew that recreated the sidecar post-completion.
+        orphan = queue.claimed_dir / f"{shard.id}.lease.json"
+        orphan.write_text(json.dumps({"shard": shard.id, "worker": "w1",
+                                      "deadline": 0, "renewals": 9}))
+        assert queue.gc_leases() == 1
+        assert not orphan.exists()
+        assert queue.gc_leases() == 0
+
+    def test_status_reports_live_leases(self, queue, clock):
+        shard = queue.claim("w1")
+        status = queue.status()
+        assert status["leases"][shard.id]["worker"] == "w1"
+        assert status["leases"][shard.id]["deadline"] == pytest.approx(
+            clock.now + 60.0
+        )
+
+
+class TestLeaseRaceMatrix:
+    """Satellite: concurrent stealers/renewers cannot duplicate a shard."""
+
+    @pytest.fixture
+    def clock(self):
+        return FakeClock()
+
+    @pytest.fixture
+    def root(self, tmp_path, clock):
+        ShardQueue.create(
+            tmp_path / "queue", campaign_id="cafe01",
+            shards=make_shards(), cached_runs=0, total_runs=6,
+            ttl_s=60.0, clock=clock,
+        )
+        return tmp_path / "queue"
+
+    def test_two_stealers_exactly_one_wins(self, root, clock):
+        q1 = ShardQueue.open(root, clock=clock)
+        q2 = ShardQueue.open(root, clock=clock)
+        shard = q1.claim("w1")
+        clock.now += 61.0
+        # Both observe the same expired lease; the rename race picks one
+        # winner, the loser's FileNotFoundError reads as "nothing to do".
+        assert q2.expired() == [shard.id] == q1.expired()
+        first = q1.steal_expired()
+        second = q2.steal_expired()
+        assert first == [shard.id]
+        assert second == []
+        # Exactly one pending copy; nothing left in claimed.
+        assert (root / "pending" / f"{shard.id}.json").exists()
+        assert not (root / "claimed" / f"{shard.id}.json").exists()
+
+    def test_steal_with_stale_expired_list_is_tolerant(self, root, clock,
+                                                       monkeypatch):
+        # The narrower race: q2 computed its expired list *before* q1's
+        # steal landed, and renames from a stale view.
+        q1 = ShardQueue.open(root, clock=clock)
+        q2 = ShardQueue.open(root, clock=clock)
+        shard = q1.claim("w1")
+        clock.now += 61.0
+        stale = q2.expired()
+        assert q1.steal_expired() == [shard.id]
+        monkeypatch.setattr(q2, "expired", lambda: stale)
+        assert q2.steal_expired() == []  # FileNotFoundError swallowed
+
+    def test_renew_racing_steal_leaves_inert_orphan(self, root, clock):
+        q1 = ShardQueue.open(root, clock=clock)
+        q2 = ShardQueue.open(root, clock=clock)
+        shard = q1.claim("w1")
+        clock.now += 61.0
+        assert q2.steal_expired() == [shard.id]
+        # w1's renew lost the claimed file mid-decision: reported as a
+        # lost lease, and no sidecar is resurrected.
+        assert q1.renew(shard.id, "w1") is False
+        assert not (root / "claimed" / f"{shard.id}.lease.json").exists()
+        # The re-claimant starts a clean lease history.
+        reclaimed = q2.claim("w2")
+        assert reclaimed.id == shard.id
+        assert q2.lease(shard.id)["renewals"] == 0
 
 
 class TestStatus:

@@ -244,8 +244,6 @@ class TestEndToEndEquivalence:
         # shard is stolen and re-executed by worker 2 into another
         # store.  The merge must classify the twice-executed
         # fingerprint as a duplicate, not a conflict.
-        import os
-
         coord = RunStore(tmp_path / "coord")
         configs = [make_config(seed=i) for i in range(2)]
         enq = Coordinator(coord, shard_size=1).enqueue(configs)
@@ -258,9 +256,8 @@ class TestEndToEndEquivalence:
         config = [c for c in configs
                   if queue_fp(c) == dead.fingerprints[0]][0]
         store1.put(config, make_result(config))
-        path = queue.claimed_dir / f"{dead.id}.json"
-        stat = path.stat()
-        os.utime(path, (stat.st_atime - 999, stat.st_mtime - 999))
+        from tests.dist.test_queue import _backdate
+        _backdate(queue, dead.id, by_s=999)
 
         # Worker 2 steals and finishes everything.
         store2 = RunStore(tmp_path / "w2")

@@ -9,6 +9,14 @@ def test_initial_rto_is_one_second():
     assert RttEstimator().rto == 1.0
 
 
+def test_initial_rto_respects_clamp():
+    # Regression: the pre-sample 1.0 s default must honour the bounds --
+    # a sub-second max_rto used to be silently violated until the first
+    # RTT sample arrived.
+    assert RttEstimator(min_rto=0.1, max_rto=0.5).rto == 0.5
+    assert RttEstimator(min_rto=2.0, max_rto=4.0).rto == 2.0
+
+
 def test_first_sample_initialises_srtt():
     est = RttEstimator()
     est.update(0.100)
