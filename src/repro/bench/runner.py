@@ -6,14 +6,23 @@ observation of the same deterministic workload -- the convention
 pytest-benchmark's ``min`` and timeit both follow), while the full list
 is preserved in the JSON so noise is visible in the trajectory.
 
+Warm-up iterations (default 1) run the scenario before timing starts,
+so ``best_wall_s``/``mean_wall_s`` stop absorbing first-run import and
+allocator noise -- the discarded passes prime module imports, numpy
+internals, and the allocator's arenas.
+
 Peak RSS comes from ``getrusage(RUSAGE_SELF).ru_maxrss``; it is the
 process high-water mark, so within one ``bench run --all`` invocation
 later scenarios inherit the peak of earlier ones.  It is recorded to
 catch order-of-magnitude memory regressions, not byte-level ones.
+``ru_maxrss`` reports KiB on Linux but **bytes** on macOS; the runner
+normalises to KiB and records the unit in the report's env block so a
+baseline's figure is interpretable regardless of where it was taken.
 """
 
 from __future__ import annotations
 
+import os
 import platform
 import resource
 import sys
@@ -42,6 +51,7 @@ class BenchResult:
     wall_s: list[float]
     events: int | None
     peak_rss_kb: int
+    warmup: int = 1
     sim_seconds: float | None = None
     counters: dict = field(default_factory=dict)
     env: dict = field(default_factory=dict)
@@ -78,6 +88,7 @@ class BenchResult:
             "scenario": self.scenario,
             "description": self.description,
             "repeats": self.repeats,
+            "warmup": self.warmup,
             "scale": self.scale,
             "wall_s": [round(w, 6) for w in self.wall_s],
             "best_wall_s": round(self.best_wall_s, 6),
@@ -120,11 +131,15 @@ class BenchResult:
 
 
 def _environment() -> dict:
+    from repro.sim.engine import DEFAULT_SCHEDULER
+
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "peak_rss_unit": "KiB",
+        "scheduler": os.environ.get("REPRO_SCHEDULER", DEFAULT_SCHEDULER),
     }
 
 
@@ -137,18 +152,27 @@ def _peak_rss_kb() -> int:
 
 
 def run_scenario(
-    scenario: str | Scenario, repeats: int = 3, scale: float = 1.0
+    scenario: str | Scenario,
+    repeats: int = 3,
+    scale: float = 1.0,
+    warmup: int = 1,
 ) -> BenchResult:
     """Execute a scenario ``repeats`` times and collect a result.
 
-    The counters (including ``events``) come from the last repeat; the
+    ``warmup`` extra iterations run first and are discarded from the
+    wall-time list (their counters are discarded too).  The counters
+    (including ``events``) come from the last timed repeat; the
     workload is deterministic, so every repeat produces the same
     counters and only the wall times differ.
     """
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    for _ in range(warmup):
+        scenario.run(scale)
     walls: list[float] = []
     counters: dict = {}
     for _ in range(repeats):
@@ -161,6 +185,7 @@ def run_scenario(
         scenario=scenario.name,
         description=scenario.description,
         repeats=repeats,
+        warmup=warmup,
         scale=scale,
         wall_s=walls,
         events=events,

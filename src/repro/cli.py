@@ -214,6 +214,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run store directory: serve this config from cache if "
              "present, persist the result otherwise",
     )
+    run_parser.add_argument(
+        "--seeds", type=int, nargs="+", metavar="SEED", default=None,
+        help="run this condition once per seed, in one process with "
+             "shared topology objects (overrides --seed; incompatible "
+             "with --trace/--metrics/--profile-sim)",
+    )
 
     cond_parser = sub.add_parser("condition", help="run several iterations")
     _add_condition_args(cond_parser)
@@ -256,6 +262,12 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--partial", action="store_true",
         help="record persistently failing configs instead of aborting",
+    )
+    campaign_parser.add_argument(
+        "--seed-batch", type=int, default=1, metavar="N",
+        help="group up to N same-condition seeds into one dispatch "
+             "unit executed in-process (store contents are identical "
+             "to per-run dispatch)",
     )
     campaign_parser.add_argument("--json", action="store_true",
                                  help="emit a machine-readable summary")
@@ -362,6 +374,11 @@ def _build_parser() -> argparse.ArgumentParser:
     dist_work.add_argument(
         "--workers", type=int, default=1,
         help="process-pool width per shard (the scheduler's workers)",
+    )
+    dist_work.add_argument(
+        "--seed-batch", type=int, default=1, metavar="N",
+        help="group up to N same-condition seeds of a shard into one "
+             "dispatch unit executed in-process",
     )
     dist_work.add_argument("--retries", type=int, default=1)
     dist_work.add_argument(
@@ -486,6 +503,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="repeats per scenario; best wall time is the headline",
     )
     bench_run.add_argument(
+        "--warmup", type=int, default=1, metavar="N",
+        help="discarded warm-up iterations per scenario before the "
+             "timed repeats (absorbs first-run import/allocator noise)",
+    )
+    bench_run.add_argument(
         "--scale", type=float, default=1.0,
         help="workload scale factor (1.0 = canonical workload)",
     )
@@ -534,6 +556,33 @@ def _make_config(args: argparse.Namespace, seed: int | None = None) -> RunConfig
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.seeds:
+        if args.trace or args.metrics or args.profile_sim:
+            print(
+                "error: --seeds cannot be combined with "
+                "--trace/--metrics/--profile-sim",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            store = RunStore(args.store) if args.store else None
+        except StoreVersionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        results = run_single(_make_config(args), store=store, seeds=args.seeds)
+        if args.json:
+            print(json.dumps([result.to_dict() for result in results]))
+            return 0
+        print(f"run {args.system} vs {args.cca or 'solo'} "
+              f"@ {args.capacity:g} Mb/s, {args.queue:g}x BDP "
+              f"({len(results)} seeds, one process)")
+        for result in results:
+            print(f"  seed {result.seed:<3d} baseline "
+                  f"{result.baseline_bps / 1e6:6.2f} Mb/s  loss "
+                  f"{result.game_loss_rate:8.4f}  f/s "
+                  f"{result.displayed_fps_contention:6.1f}  wall "
+                  f"{result.wall_time_s:5.2f} s")
+        return 0
     tracer = None
     if args.trace:
         tracer = Tracer()
@@ -673,6 +722,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         resume=args.resume,
         chaos=chaos,
+        seed_batch=args.seed_batch,
     ).run(configs)
     report = campaign.report
 
@@ -837,9 +887,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.repeats <= 0 or args.scale <= 0:
             print("error: --repeats and --scale must be positive", file=sys.stderr)
             return 2
+        if args.warmup < 0:
+            print("error: --warmup must be >= 0", file=sys.stderr)
+            return 2
         results = []
         for name in names:
-            result = run_scenario(name, repeats=args.repeats, scale=args.scale)
+            result = run_scenario(
+                name, repeats=args.repeats, scale=args.scale,
+                warmup=args.warmup,
+            )
             path = write_result(result, args.out)
             results.append(result)
             if not args.json:
@@ -1091,6 +1147,7 @@ def _cmd_dist(args: argparse.Namespace) -> int:
                 campaign=args.campaign,
                 worker_id=args.worker_id,
                 inner_workers=args.workers,
+                seed_batch=args.seed_batch,
                 retries=args.retries,
                 timeout=args.timeout,
                 chaos=args.chaos,

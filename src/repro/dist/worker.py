@@ -172,6 +172,9 @@ class DistWorker:
         worker_id: stable identity for leases/heartbeats.
         inner_workers: process-pool width per shard (the existing
             scheduler's ``workers``).
+        seed_batch: group up to this many same-condition seeds of a
+            shard into one dispatch unit (in-process multi-seed
+            execution; see :mod:`repro.experiments.multirun`).
         retries/timeout: per-run semantics, passed to the scheduler.
         chaos: optional :class:`ChaosSpec` (or spec string) wrapped
             around ``run_fn``, same as ``campaign --chaos``.
@@ -200,6 +203,7 @@ class DistWorker:
         campaign: str | None = None,
         worker_id: str | None = None,
         inner_workers: int = 1,
+        seed_batch: int = 1,
         retries: int = 1,
         timeout: float | None = None,
         chaos: "ChaosSpec | str | None" = None,
@@ -237,6 +241,7 @@ class DistWorker:
         self.campaign = campaign
         self.worker_id = worker_id or default_worker_id()
         self.inner_workers = inner_workers
+        self.seed_batch = seed_batch
         self.retries = retries
         self.timeout = timeout
         if isinstance(chaos, str):
@@ -338,6 +343,7 @@ class DistWorker:
                 run_fn=self.run_fn,
                 on_result=self._on_result,
                 heartbeat_interval=None,  # the coordinator owns the heartbeat
+                seed_batch=self.seed_batch,
             )
             shard_report = scheduler.run(configs)
         except Exception as exc:

@@ -10,6 +10,8 @@
   :class:`~repro.experiments.results.RunResult`.
 - :mod:`repro.experiments.campaign` -- run grids of conditions with
   multiple iterations and aggregate per condition.
+- :mod:`repro.experiments.multirun` -- in-process multi-seed execution
+  sharing one topology build per condition.
 """
 
 from repro.experiments.campaign import Campaign, ConditionResult
@@ -22,6 +24,7 @@ from repro.experiments.conditions import (
     striped_order,
 )
 from repro.experiments.config import RunConfig
+from repro.experiments.multirun import run_condition_batch, run_seeds
 from repro.experiments.profiles import PAPER, QUICK, SMOKE, Timeline
 from repro.experiments.results import RunResult
 from repro.experiments.runner import RunTimeout, run_single
@@ -41,6 +44,8 @@ __all__ = [
     "SYSTEM_NAMES",
     "Timeline",
     "condition_grid",
+    "run_condition_batch",
+    "run_seeds",
     "run_single",
     "striped_order",
 ]

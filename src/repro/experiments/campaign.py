@@ -169,6 +169,11 @@ class Campaign:
         heartbeat_interval: minimum seconds between live-progress
             records appended to the store's campaign heartbeat (see
             :mod:`repro.store.heartbeat`); ``None`` disables it.
+        seed_batch: group up to this many same-condition seeds into one
+            dispatch unit executed in-process with shared topology
+            inputs (see :mod:`repro.experiments.multirun`).  Store
+            writes and fingerprints stay per run; results and
+            aggregates are byte-identical to per-run dispatch.
 
     A ``KeyboardInterrupt`` during execution is absorbed by the
     scheduler: :attr:`report` comes back partial with
@@ -191,6 +196,7 @@ class Campaign:
         backoff_base: float = 0.5,
         backoff_cap: float = 30.0,
         heartbeat_interval: float | None = 1.0,
+        seed_batch: int = 1,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -207,6 +213,7 @@ class Campaign:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.heartbeat_interval = heartbeat_interval
+        self.seed_batch = seed_batch
         self.conditions: dict[tuple, ConditionResult] = {}
         #: Per-run (label, wall seconds), in completion order.
         self.wall_times: list[tuple[str, float]] = []
@@ -246,6 +253,7 @@ class Campaign:
             backoff_base=self.backoff_base,
             backoff_cap=self.backoff_cap,
             heartbeat_interval=self.heartbeat_interval,
+            seed_batch=self.seed_batch,
         )
         self.report = scheduler.run(configs)
         return self

@@ -41,6 +41,7 @@ def run_single(
     store=None,
     timeout_s: float | None = None,
     max_events: int | None = None,
+    seeds=None,
 ) -> RunResult:
     """Execute one run and return its measurements.
 
@@ -65,18 +66,64 @@ def run_single(
         max_events: like ``timeout_s`` but bounding the number of
             dispatched simulation events (a runaway-run backstop that
             is deterministic across hosts).
+        seeds: optional list of seeds; runs every seed of this
+            condition in-process with shared topology objects (see
+            :mod:`repro.experiments.multirun`) and returns a **list**
+            of results instead of one.  Incompatible with the per-run
+            observers (tracer/metrics/profiler), which bind to a single
+            testbed.
     """
+    if seeds is not None:
+        if tracer is not None or metrics is not None or sim_profiler is not None:
+            raise ValueError(
+                "seeds batching cannot carry per-run observers; "
+                "run each seed individually to trace or profile it"
+            )
+        from repro.experiments.multirun import run_seeds
+
+        return run_seeds(
+            config, seeds,
+            store=store, timeout_s=timeout_s, max_events=max_events,
+        )
     if store is not None:
         observed = tracer is not None or metrics is not None or sim_profiler is not None
         if not observed:
             cached = store.get(config)
             if cached is not None:
                 return cached
-    wall_start = perf_counter()
+    return _execute(
+        config, tracer, metrics, sim_profiler, store, timeout_s,
+        max_events, perf_counter(),
+    )
+
+
+def _execute(
+    config: RunConfig,
+    tracer: Tracer | None,
+    metrics: MetricsRecorder | None,
+    sim_profiler: SimProfiler | None,
+    store,
+    timeout_s: float | None,
+    max_events: int | None,
+    wall_start: float,
+    router: RouterConfig | None = None,
+    profile=None,
+) -> RunResult:
+    """Build the testbed, run the timeline, collect the result.
+
+    The cache-bypass core of :func:`run_single`.  ``router`` and
+    ``profile`` allow a multi-seed batch to construct the immutable
+    topology inputs once and share them across seeds -- they are pure
+    functions of the config's condition fields, so sharing cannot
+    change any measurement.
+    """
     timeline = config.timeline
-    router = RouterConfig(rate_bps=config.capacity_bps, queue_mult=config.queue_mult)
+    if router is None:
+        router = RouterConfig(
+            rate_bps=config.capacity_bps, queue_mult=config.queue_mult
+        )
     testbed = GameStreamingTestbed(
-        config.system,
+        profile if profile is not None else config.system,
         router,
         seed=config.seed,
         competing_cca=config.cca,

@@ -37,7 +37,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable
 
-from repro.sim.engine import Event, Simulator, _heappush
+from repro.sim.engine import Event, Simulator
 
 __all__ = ["DelayLine"]
 
@@ -55,7 +55,7 @@ class DelayLine:
     for the whole firing, so a re-entrant push never double-arms it).
     """
 
-    __slots__ = ("sim", "deliver", "_q", "_timer", "_armed")
+    __slots__ = ("sim", "deliver", "_q", "_timer", "_armed", "_sched_push")
 
     def __init__(self, sim: Simulator, deliver: Callable[[Any], None]):
         self.sim = sim
@@ -63,6 +63,9 @@ class DelayLine:
         self._q: deque[tuple[float, int, Any]] = deque()
         self._timer = Event(0.0, 0, self._fire, ())
         self._armed = False
+        # The scheduler backend's insertion point, cached at wiring time
+        # (one attribute hop per arm instead of two).
+        self._sched_push = sim._push
 
     # Both hot methods below inline the engine's reserve_seq/rearm pair
     # (they run once per packet per stage).  The shortcuts are safe
@@ -79,7 +82,7 @@ class DelayLine:
             timer = self._timer
             timer.time = release
             timer.seq = seq
-            _heappush(sim._heap, (release, seq, timer))
+            self._sched_push(release, seq, timer)
 
     def _fire(self) -> None:
         q = self._q
@@ -89,7 +92,7 @@ class DelayLine:
             timer = self._timer
             timer.time = release
             timer.seq = seq
-            _heappush(self.sim._heap, (release, seq, timer))
+            self._sched_push(release, seq, timer)
         else:
             self._armed = False
 

@@ -1,9 +1,20 @@
 """Discrete-event simulation engine.
 
 A minimal, fast event loop: events are ``(time, sequence, callback)``
-entries in a binary heap.  The sequence number breaks ties so that events
-scheduled at the same instant fire in FIFO order, which keeps packet
-processing deterministic.
+entries in a pending-event store.  The sequence number breaks ties so
+that events scheduled at the same instant fire in FIFO order, which
+keeps packet processing deterministic.
+
+The store is pluggable behind ``Simulator(scheduler=...)``: the default
+``"wheel"`` backend is the hierarchical timing wheel of
+:mod:`repro.sim.wheel` (O(1) bucket pushes for the packet-horizon
+events that dominate a run), while ``"heap"`` keeps the classic binary
+heap.  Both dispatch in byte-identical ``(time, seq)`` order -- the
+tie-break contract (:meth:`Simulator.reserve_seq`,
+:meth:`Simulator.rearm`, tombstone compaction) is backend-independent,
+and a CI parity job plus a Hypothesis property test keep it that way.
+External hot paths push through ``sim._push(time, seq, event)`` so they
+stay backend-agnostic.
 
 The engine is deliberately free of any networking knowledge; links,
 queues, and protocol endpoints schedule callbacks on it.
@@ -13,11 +24,18 @@ from __future__ import annotations
 
 import gc
 import heapq
+import os
 from math import inf
 from time import perf_counter
 from typing import Any, Callable
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+from repro.sim.wheel import TimingWheel
+
+__all__ = ["Event", "Simulator", "SimulationError", "DEFAULT_SCHEDULER"]
+
+#: Backend used when neither the ``scheduler`` argument nor the
+#: ``REPRO_SCHEDULER`` environment variable says otherwise.
+DEFAULT_SCHEDULER = "wheel"
 
 # Bound once: the scheduling and dispatch paths run for every event, and
 # a module-level name saves the heapq attribute lookup on each of them.
@@ -84,20 +102,38 @@ class Simulator:
     """
 
     #: Compaction floor: below this many tombstones the rebuild is not
-    #: worth its O(n) cost, whatever fraction of the heap they are.
+    #: worth its O(n) cost, whatever fraction of the backlog they are.
     COMPACT_MIN_CANCELLED = 256
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: str | None = None) -> None:
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SCHEDULER", DEFAULT_SCHEDULER)
         self.now: float = 0.0
-        # Heap entries are (time, seq, Event) tuples so ordering is
-        # resolved by C-level float/int comparison without ever invoking
-        # Python code on the Event itself.
-        self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._cancelled: int = 0
         self._compactions: int = 0
         self._profiler = None
+        # Entries are (time, seq, Event) tuples in both backends, so
+        # ordering is resolved by C-level float/int comparison without
+        # ever invoking Python code on the Event itself.  ``_push`` is
+        # the backend-agnostic insertion point that delay lines and
+        # links cache at wiring time.
+        if scheduler == "wheel":
+            self._heap: list[tuple[float, int, Event]] | None = None
+            self._wheel: TimingWheel | None = TimingWheel()
+            self._push = self._wheel.push
+            self._dispatch = self._dispatch_wheel
+        elif scheduler == "heap":
+            self._heap = []
+            self._wheel = None
+            self._push = self._heap_push
+            self._dispatch = self._dispatch_heap
+        else:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; options: 'wheel', 'heap'"
+            )
+        self.scheduler = scheduler
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -111,13 +147,13 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
-        # Inlined push (not a schedule_at call): this is the hottest
-        # entry point -- every packet and timer comes through here -- and
-        # the extra frame costs more than the four lines save.
+        # Inlined bookkeeping (not a schedule_at call): this is the
+        # hottest entry point -- every packet and timer comes through
+        # here -- and the extra frame costs more than the lines save.
         time = self.now + delay
         seq = self._seq = self._seq + 1
         event = Event(time, seq, fn, args, self)
-        _heappush(self._heap, (time, seq, event))
+        self._push(time, seq, event)
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -128,7 +164,7 @@ class Simulator:
             )
         seq = self._seq = self._seq + 1
         event = Event(time, seq, fn, args, self)
-        _heappush(self._heap, (time, seq, event))
+        self._push(time, seq, event)
         return event
 
     def reserve_seq(self) -> int:
@@ -170,43 +206,51 @@ class Simulator:
         event.seq = seq
         event.cancelled = False
         event._sim = self
-        _heappush(self._heap, (time, seq, event))
+        self._push(time, seq, event)
         return event
+
+    def _heap_push(self, time: float, seq: int, event: Event) -> None:
+        """``_push`` implementation for the heap backend."""
+        _heappush(self._heap, (time, seq, event))
 
     # ------------------------------------------------------------------
     # Tombstone accounting
     # ------------------------------------------------------------------
     def _note_cancelled(self) -> None:
-        """Called by :meth:`Event.cancel` for events still in the heap.
+        """Called by :meth:`Event.cancel` for events still queued.
 
         When tombstones outnumber live events (and exceed a fixed
-        floor), the heap is rebuilt without them: timer-heavy senders
+        floor), the backlog is rebuilt without them: timer-heavy senders
         cancel and re-arm the RTO on every ACK, and without compaction
         those dead entries inflate every subsequent push and pop.
         """
         self._cancelled += 1
-        if (
-            self._cancelled >= self.COMPACT_MIN_CANCELLED
-            and self._cancelled * 2 > len(self._heap)
-        ):
-            self._compact()
+        if self._cancelled >= self.COMPACT_MIN_CANCELLED:
+            heap = self._heap
+            backlog = len(heap) if heap is not None else self._wheel.size
+            if self._cancelled * 2 > backlog:
+                self._compact()
 
     def _compact(self) -> None:
-        # In place, so the dispatch loop's local alias stays valid even
-        # when a callback's cancel() triggers compaction mid-run.  Heap
-        # order is a pure (time, seq) comparison, so filtering plus
-        # heapify reproduces the exact same dispatch order.
+        # In place (``heap[:] =``), so the dispatch loop's heap alias
+        # stays valid even when a callback's cancel() triggers
+        # compaction mid-run.  Order is a pure (time, seq) comparison in
+        # both backends, so filtering reproduces the exact same dispatch
+        # order.
         heap = self._heap
-        heap[:] = [entry for entry in heap if not entry[2].cancelled]
-        heapq.heapify(heap)
+        if heap is not None:
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+        else:
+            self._wheel.compact()
         self._cancelled = 0
         self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _dispatch(self, until: float, max_events: int) -> int:
-        """The one dispatch loop behind both :meth:`step` and :meth:`run`.
+    def _dispatch_heap(self, until: float, max_events: int) -> int:
+        """The dispatch loop behind both :meth:`step` and :meth:`run`.
 
         Pops and fires events with ``time <= until``, at most
         ``max_events`` of them (-1 for unlimited), and returns how many
@@ -244,6 +288,75 @@ class Simulator:
                 )
             dispatched += 1
             if dispatched == max_events:
+                break
+        return dispatched
+
+    def _dispatch_wheel(self, until: float, max_events: int) -> int:
+        """Wheel-backend dispatch: same contract as :meth:`_dispatch_heap`.
+
+        The fast path is the heap loop verbatim, plus one float compare
+        against ``boundary`` -- the start of the earliest occupied wheel
+        or overflow slot.  A heap head strictly below the local boundary
+        is always safe to fire: every near-heap entry is earlier than
+        ``(cur + near) * slot_s`` and any push that lowers the wheel's
+        boundary files at or beyond that mark, so a stale local copy can
+        only be wrong in the harmless direction (too low -> one wasted
+        refresh).  The slow path re-reads the wheel's boundary -- a
+        callback's far push could otherwise break the loop early and
+        strand bucketed events -- and only then decides between
+        stopping at ``until`` and cascading the next slot into the heap.
+        """
+        wheel = self._wheel
+        heap = wheel.heap
+        cascade = wheel.cascade_next
+        heappop = _heappop
+        profiler = self._profiler
+        dispatched = 0
+        boundary = wheel.boundary
+        while True:
+            if heap:
+                time = heap[0][0]
+                if time < boundary:
+                    if time > until:
+                        break
+                    _, _, event = heappop(heap)
+                    if event.cancelled:
+                        if self._cancelled > 0:
+                            self._cancelled -= 1
+                        continue
+                    event._sim = None
+                    self.now = time
+                    self._events_processed += 1
+                    if profiler is None:
+                        event.fn(*event.args)
+                    else:
+                        start = perf_counter()
+                        event.fn(*event.args)
+                        profiler.on_event(
+                            event,
+                            perf_counter() - start,
+                            wheel.size - self._cancelled,
+                        )
+                    dispatched += 1
+                    if dispatched == max_events:
+                        break
+                    continue
+            # Slow path: heap empty, or its head is at/past the local
+            # boundary.  Refresh the boundary first -- a callback may
+            # have pushed a far event (lowering it) or cascaded via
+            # compaction (raising it).
+            fresh = wheel.boundary
+            if fresh != boundary:
+                boundary = fresh
+                continue
+            if boundary > until:
+                break
+            dropped = cascade()
+            if dropped:
+                cancelled = self._cancelled - dropped
+                self._cancelled = cancelled if cancelled > 0 else 0
+            boundary = wheel.boundary
+            if not heap and boundary == inf:
                 break
         return dispatched
 
@@ -300,12 +413,14 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Heap entries still queued, cancelled tombstones included.
+        """Entries still queued, cancelled tombstones included.
 
-        This is the raw container size; use :attr:`live_pending` for the
-        number of events that will actually fire.
+        This is the raw container size (heap length or wheel occupancy);
+        use :attr:`live_pending` for the number of events that will
+        actually fire.
         """
-        return len(self._heap)
+        heap = self._heap
+        return len(heap) if heap is not None else self._wheel.size
 
     @property
     def live_pending(self) -> int:
@@ -315,7 +430,7 @@ class Simulator:
         compaction), so it is the truthful backlog figure -- the one the
         profiler reports as heap depth.
         """
-        live = len(self._heap) - self._cancelled
+        live = self.pending - self._cancelled
         return live if live > 0 else 0
 
     @property

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.delayline import DelayLine
-from repro.sim.engine import Event, Simulator, _heappush
+from repro.sim.engine import Event, Simulator
 from repro.sim.packet import Packet
 from repro.sim.queues import Queue, UnboundedQueue
 
@@ -67,12 +67,14 @@ class Link:
         self._express = self.queue.express
         self._pop = self.queue.pop
         self._sink_receive = sink.receive
+        self._sched_push = sim._push
         self._prop_push = DelayLine(sim, sink.receive).push if delay > 0 else None
         # The serialisation timer is one recycled Event: the busy flag
-        # guarantees it is out of the heap whenever it is re-armed, and
-        # it is never cancelled, so the inlined arming below (a fresh
-        # tie-break seq plus a heap push, exactly what sim.schedule
-        # does) replaces an Event allocation per transmission.
+        # guarantees it is out of the scheduler whenever it is re-armed,
+        # and it is never cancelled, so the inlined arming below (a
+        # fresh tie-break seq plus a scheduler push, exactly what
+        # sim.schedule does) replaces an Event allocation per
+        # transmission.
         self._tx_event = Event(0.0, 0, self._tx_done, ())
 
     # ------------------------------------------------------------------
@@ -92,7 +94,7 @@ class Link:
                 event.time = time
                 event.seq = seq
                 event.args = (express,)
-                _heappush(sim._heap, (time, seq, event))
+                self._sched_push(time, seq, event)
                 return
         # Under contention the link is almost always busy when a packet
         # is admitted, so guard the kick here instead of paying a frame
@@ -114,7 +116,7 @@ class Link:
         event.time = time
         event.seq = seq
         event.args = (pkt,)
-        _heappush(sim._heap, (time, seq, event))
+        self._sched_push(time, seq, event)
 
     def _tx_done(self, pkt: Packet) -> None:
         self.bytes_sent += pkt.size
@@ -142,7 +144,7 @@ class Link:
         event.time = time
         event.seq = seq
         event.args = (nxt,)
-        _heappush(sim._heap, (time, seq, event))
+        self._sched_push(time, seq, event)
 
     # ------------------------------------------------------------------
     def serialization_time(self, size_bytes: int) -> float:

@@ -19,7 +19,7 @@ from typing import Callable
 import numpy as np
 
 from repro.sim.delayline import DelayLine
-from repro.sim.engine import Simulator, _heappush
+from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 
 __all__ = ["NetemDelay", "NetemLoss"]
@@ -62,6 +62,7 @@ class NetemDelay:
         self._last_release = 0.0
         self.packets_delayed = 0
         self._line = DelayLine(sim, sink.receive)
+        self._sched_push = sim._push
 
     def receive(self, pkt: Packet) -> None:
         sim = self.sim
@@ -86,7 +87,7 @@ class NetemDelay:
             timer = line._timer
             timer.time = release
             timer.seq = seq
-            _heappush(sim._heap, (release, seq, timer))
+            self._sched_push(release, seq, timer)
 
     def __len__(self) -> int:
         """Packets currently traversing the delay stage."""

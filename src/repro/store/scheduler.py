@@ -68,7 +68,7 @@ from dataclasses import dataclass, field
 from repro.experiments.runner import RunTimeout, run_single
 from repro.obs.counters import CounterSet
 from repro.obs.trace import NULL_TRACER
-from repro.store.fingerprint import config_fingerprint
+from repro.store.fingerprint import canonical_json, config_fingerprint, config_identity
 from repro.store.heartbeat import CampaignHeartbeat
 
 __all__ = [
@@ -192,14 +192,51 @@ def _kill_workers(pool: ProcessPoolExecutor) -> None:
 
 @dataclass(eq=False)
 class _Pending:
-    config: object
-    fingerprint: str
+    """One dispatch unit: a single run, or a seed batch of one condition.
+
+    Retry/timeout/free-pass accounting is per dispatch unit -- a failed
+    batch is retried whole (completed seeds are served from the store
+    cache on the retry, so nothing is recomputed twice).
+    """
+
+    configs: list
+    fingerprints: list
     attempts: int = 0
     #: wall-clock time at which an in-flight run is declared hung
     deadline: float | None = None
     #: next dispatch does not consume an attempt (the previous one was
     #: killed through no fault of its own)
     free_pass: bool = False
+
+    @property
+    def config(self):
+        """Representative config (labels, error messages)."""
+        return self.configs[0]
+
+    @property
+    def fingerprint(self) -> str:
+        return self.fingerprints[0]
+
+    @property
+    def label(self) -> str:
+        label = self.configs[0].label
+        extra = len(self.configs) - 1
+        return label if extra == 0 else f"{label} (+{extra} seeds)"
+
+
+def _run_batch(run_fn, configs: list, kwargs: dict) -> list:
+    """Execute one seed batch in a single task (top level: picklable).
+
+    The stock :func:`~repro.experiments.runner.run_single` executor is
+    routed through :func:`~repro.experiments.multirun.run_condition_batch`
+    so the batch shares topology inputs; any substitute ``run_fn`` (test
+    fakes, chaos wrappers) is simply invoked per config.
+    """
+    if run_fn is run_single:
+        from repro.experiments.multirun import run_condition_batch
+
+        return run_condition_batch(configs, **kwargs)
+    return [run_fn(config, **kwargs) for config in configs]
 
 
 class CampaignScheduler:
@@ -240,6 +277,17 @@ class CampaignScheduler:
             (``<store>/campaigns/<id>/heartbeat.jsonl``; see
             :mod:`repro.store.heartbeat`).  ``None`` disables the
             heartbeat; without a store there is nowhere to write one.
+        seed_batch: dispatch unit size.  With ``seed_batch > 1``,
+            cache-missing configs that share a condition (identity
+            minus seed) are grouped into batches of up to this many
+            runs and each batch executes as **one** task -- in-process
+            multi-seed execution via
+            :mod:`repro.experiments.multirun` when ``run_fn`` is the
+            stock :func:`~repro.experiments.runner.run_single`.  Store
+            writes, fingerprints, and checkpoint marks stay per run;
+            per-run ``timeout`` budgets are multiplied by the batch
+            size.  Retries re-dispatch the whole batch (already-stored
+            seeds are then cache hits inside the batch).
     """
 
     def __init__(
@@ -260,11 +308,14 @@ class CampaignScheduler:
         sleep=time.sleep,
         clock=time.monotonic,
         heartbeat_interval: float | None = 1.0,
+        seed_batch: int = 1,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if seed_batch < 1:
+            raise ValueError(f"seed_batch must be >= 1, got {seed_batch}")
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if backoff_base < 0 or backoff_cap < 0:
@@ -289,6 +340,7 @@ class CampaignScheduler:
         self._sleep = sleep
         self._clock = clock
         self.heartbeat_interval = heartbeat_interval
+        self.seed_batch = seed_batch
         self._run_kwargs = _supported_kwargs(run_fn)
         self.counters = CounterSet()
         self._seq = 0
@@ -347,46 +399,56 @@ class CampaignScheduler:
             else:
                 self.counters.inc("store.misses")
                 self._emit("store.miss", fp=fp, label=config.label)
-                pending.append(_Pending(config, fp))
+                pending.append(_Pending([config], [fp]))
+
+        if self.seed_batch > 1:
+            pending = self._group_batches(pending)
 
         # Phase 2: execute the misses, completion order, with retries.
+        # Backends yield one result list (or one error) per dispatch
+        # unit; accounting below stays per run.
         if pending:
             backend = self._run_serial if self.workers == 1 else self._run_pool
             try:
-                for item, result, error in backend(pending):
-                    done += 1
+                for item, results, error in backend(pending):
+                    if results is not None:
+                        for config, fp, result in zip(
+                            item.configs, item.fingerprints, results,
+                            strict=True,
+                        ):
+                            done += 1
+                            report.executed += 1
+                            self.counters.inc("sched.executed")
+                            if self.store is not None:
+                                self.store.put(config, result)
+                                self._emit("store.put", fp=fp)
+                            self._checkpoint_mark(
+                                state, report.campaign_id, fp, "completed",
+                            )
+                            if self.on_result is not None:
+                                self.on_result(result, done, total, False)
+                            report.results.append(result)
+                    else:
+                        for config, fp in zip(item.configs, item.fingerprints):
+                            done += 1
+                            failure = RunFailure(
+                                config=config,
+                                fingerprint=fp,
+                                error=error,
+                                attempts=item.attempts,
+                            )
+                            report.failures.append(failure)
+                            self.counters.inc("sched.failures")
+                            self._emit(
+                                "sched.fail", fp=fp,
+                                attempts=item.attempts, error=error,
+                            )
+                            self._checkpoint_mark(
+                                state, report.campaign_id, fp,
+                                "failed", error=error, attempts=item.attempts,
+                            )
                     if heartbeat is not None:
                         heartbeat.beat(done, self.counters)
-                    if result is not None:
-                        report.executed += 1
-                        self.counters.inc("sched.executed")
-                        if self.store is not None:
-                            self.store.put(item.config, result)
-                            self._emit("store.put", fp=item.fingerprint)
-                        self._checkpoint_mark(
-                            state, report.campaign_id, item.fingerprint,
-                            "completed",
-                        )
-                        if self.on_result is not None:
-                            self.on_result(result, done, total, False)
-                        report.results.append(result)
-                    else:
-                        failure = RunFailure(
-                            config=item.config,
-                            fingerprint=item.fingerprint,
-                            error=error,
-                            attempts=item.attempts,
-                        )
-                        report.failures.append(failure)
-                        self.counters.inc("sched.failures")
-                        self._emit(
-                            "sched.fail", fp=item.fingerprint,
-                            attempts=item.attempts, error=error,
-                        )
-                        self._checkpoint_mark(
-                            state, report.campaign_id, item.fingerprint,
-                            "failed", error=error, attempts=item.attempts,
-                        )
             except KeyboardInterrupt:
                 report.interrupted = True
                 report.abandoned = list(self._abandoned)
@@ -424,26 +486,65 @@ class CampaignScheduler:
         return report
 
     # ------------------------------------------------------------------
-    # Execution backends.  Both yield (item, result | None, error | None)
-    # in completion order; a None result is a persistent failure (only
-    # possible in partial mode -- otherwise they raise CampaignError).
+    # Execution backends.  Both yield (item, results | None, error |
+    # None) in completion order -- ``results`` is one result per config
+    # in the dispatch unit; None is a persistent failure (only possible
+    # in partial mode -- otherwise they raise CampaignError).
     # A KeyboardInterrupt records what was abandoned and propagates to
     # run(), which turns it into a partial report.
     # ------------------------------------------------------------------
+    def _group_batches(self, pending: list[_Pending]) -> list[_Pending]:
+        """Merge single-run items that share a condition into batches.
+
+        Grouping key is the config identity minus the seed; groups keep
+        first-occurrence order and seeds keep config order, so batched
+        dispatch is deterministic.  Configs without a full identity
+        (test fakes) stay unbatched.
+        """
+        groups: dict[str, _Pending] = {}
+        batched: list[_Pending] = []
+        for item in pending:
+            config = item.configs[0]
+            try:
+                identity = config_identity(config)
+                identity.pop("seed", None)
+                key = canonical_json(identity)
+            except Exception:
+                batched.append(item)
+                continue
+            group = groups.get(key)
+            if group is not None and len(group.configs) < self.seed_batch:
+                group.configs.append(config)
+                group.fingerprints.append(item.fingerprints[0])
+            else:
+                groups[key] = item
+                batched.append(item)
+        return batched
+
+    @staticmethod
+    def _as_results(item: _Pending, raw) -> list:
+        """Normalise a dispatch return to one-result-per-config."""
+        return raw if len(item.configs) > 1 else [raw]
+
     def _run_serial(self, pending: list[_Pending]):
+        def live_tail(items: list[_Pending]) -> list[str]:
+            return [fp for p in items for fp in p.fingerprints]
+
         for index, item in enumerate(pending):
             while True:
                 item.attempts += 1
                 self._emit(
                     "sched.dispatch", fp=item.fingerprint,
-                    attempt=item.attempts, label=item.config.label,
+                    attempt=item.attempts, label=item.label,
                 )
                 try:
-                    result = self.run_fn(
-                        item.config, **self._call_kwargs(item)
-                    )
+                    kwargs = self._call_kwargs(item)
+                    if len(item.configs) == 1:
+                        results = [self.run_fn(item.configs[0], **kwargs)]
+                    else:
+                        results = _run_batch(self.run_fn, item.configs, kwargs)
                 except KeyboardInterrupt:
-                    self._abandon([p.fingerprint for p in pending[index:]])
+                    self._abandon(live_tail(pending[index:]))
                     raise
                 except Exception as exc:
                     if isinstance(exc, RunTimeout):
@@ -452,7 +553,7 @@ class CampaignScheduler:
                         action, delay = self._failure_action(item, exc)
                     except CampaignError as fail:
                         fail.abandoned = self._abandon(
-                            [p.fingerprint for p in pending[index + 1:]]
+                            live_tail(pending[index + 1:])
                         )
                         raise
                     if action == "retry":
@@ -462,7 +563,7 @@ class CampaignScheduler:
                     break
                 else:
                     self._emit("sched.done", fp=item.fingerprint)
-                    yield item, result, None
+                    yield item, results, None
                     break
 
     def _run_pool(self, pending: list[_Pending]):
@@ -479,9 +580,9 @@ class CampaignScheduler:
 
         def live_fingerprints() -> list[str]:
             return (
-                [it.fingerprint for it in inflight.values()]
-                + [it.fingerprint for it in ready]
-                + [entry[2].fingerprint for entry in retry_heap]
+                [fp for it in inflight.values() for fp in it.fingerprints]
+                + [fp for it in ready for fp in it.fingerprints]
+                + [fp for entry in retry_heap for fp in entry[2].fingerprints]
             )
 
         try:
@@ -501,9 +602,15 @@ class CampaignScheduler:
                         item.attempts += 1
                     item.free_pass = False
                     try:
-                        future = pool.submit(
-                            self.run_fn, item.config, **self._call_kwargs(item)
-                        )
+                        kwargs = self._call_kwargs(item)
+                        if len(item.configs) == 1:
+                            future = pool.submit(
+                                self.run_fn, item.configs[0], **kwargs
+                            )
+                        else:
+                            future = pool.submit(
+                                _run_batch, self.run_fn, item.configs, kwargs
+                            )
                     except BrokenProcessPool:
                         # The pool died between collections (e.g. a
                         # worker crashed while idle).  Undo the charge,
@@ -532,11 +639,11 @@ class CampaignScheduler:
                         continue
                     self._emit(
                         "sched.dispatch", fp=item.fingerprint,
-                        attempt=item.attempts, label=item.config.label,
+                        attempt=item.attempts, label=item.label,
                     )
                     item.deadline = (
                         None if self.timeout is None
-                        else self._clock() + self.timeout
+                        else self._clock() + self.timeout * len(item.configs)
                     )
                     inflight[future] = item
 
@@ -568,7 +675,7 @@ class CampaignScheduler:
                     exc = future.exception()
                     if exc is None:
                         self._emit("sched.done", fp=item.fingerprint)
-                        yield item, future.result(), None
+                        yield item, self._as_results(item, future.result()), None
                         continue
                     if isinstance(exc, BrokenProcessPool):
                         # Handled wholesale below so the rebuild sees one
@@ -624,8 +731,9 @@ class CampaignScheduler:
                         for item in casualties:
                             if id(item) in expired:
                                 exc = RunTimeout(
-                                    f"run {item.config.label} exceeded the "
-                                    f"{self.timeout:g}s wall-clock limit"
+                                    f"run {item.label} exceeded the "
+                                    f"{self.timeout * len(item.configs):g}s "
+                                    "wall-clock limit"
                                 )
                                 self._note_timeout(item, exc)
                                 outcome = self._settle_failure(
@@ -660,7 +768,9 @@ class CampaignScheduler:
     def _call_kwargs(self, item: _Pending) -> dict:
         kwargs = {}
         if self.timeout is not None and "timeout_s" in self._run_kwargs:
-            kwargs["timeout_s"] = self.timeout
+            # A batch gets the per-run budget times its size; the batch
+            # runner re-measures the remaining budget before each seed.
+            kwargs["timeout_s"] = self.timeout * len(item.configs)
         if "attempt" in self._run_kwargs:
             kwargs["attempt"] = item.attempts
         return kwargs
@@ -690,7 +800,7 @@ class CampaignScheduler:
         if self.partial:
             return "record", 0.0
         raise CampaignError(
-            f"run {item.config.label} failed after {item.attempts} "
+            f"run {item.label} failed after {item.attempts} "
             f"attempt(s): {_describe(exc)}"
         ) from exc
 
@@ -723,7 +833,7 @@ class CampaignScheduler:
                 and not future.cancelled()
                 and future.exception() is None
             ):
-                finished.append((item, future.result(), None))
+                finished.append((item, self._as_results(item, future.result()), None))
             else:
                 item.deadline = None
                 casualties.append(item)

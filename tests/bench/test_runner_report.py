@@ -37,17 +37,40 @@ def test_run_scenario_collects_all_repeats():
     calls = []
     scenario = Scenario("probe", "d", lambda scale: calls.append(scale) or {"events": 10})
     result = run_scenario(scenario, repeats=4, scale=0.5)
-    assert calls == [0.5] * 4
+    # default warmup = 1: one discarded pass before the timed repeats
+    assert calls == [0.5] * 5
     assert len(result.wall_s) == 4
+    assert result.warmup == 1
     assert result.events == 10
     assert result.scenario == "probe"
     assert result.env["implementation"]
+    assert result.env["peak_rss_unit"] == "KiB"
+    assert result.env["scheduler"] in ("wheel", "heap")
     assert result.peak_rss_kb > 0
+
+
+def test_run_scenario_warmup_iterations_are_untimed():
+    calls = []
+    scenario = Scenario("probe", "d", lambda scale: calls.append(scale) or {"events": 10})
+    result = run_scenario(scenario, repeats=2, warmup=3)
+    assert len(calls) == 5
+    assert len(result.wall_s) == 2
+    assert result.warmup == 3
+    assert result.to_dict()["warmup"] == 3
+
+
+def test_run_scenario_warmup_zero_disables_priming():
+    calls = []
+    scenario = Scenario("probe", "d", lambda scale: calls.append(scale) or {})
+    run_scenario(scenario, repeats=2, warmup=0)
+    assert len(calls) == 2
 
 
 def test_run_scenario_resolves_names_and_validates_repeats():
     with pytest.raises(ValueError, match="repeats"):
         run_scenario("engine-microbench", repeats=0)
+    with pytest.raises(ValueError, match="warmup"):
+        run_scenario("engine-microbench", warmup=-1)
     with pytest.raises(KeyError):
         run_scenario("missing-scenario")
 

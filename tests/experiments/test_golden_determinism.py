@@ -21,6 +21,7 @@ and say so in the PR description.
 import hashlib
 
 import numpy as np
+import pytest
 
 from repro.experiments import RunConfig, Timeline
 from repro.experiments.runner import run_single
@@ -58,7 +59,11 @@ def _digest(result) -> str:
     return h.hexdigest()
 
 
-def test_pinned_condition_matches_committed_digest():
+@pytest.mark.parametrize("backend", ["wheel", "heap"])
+def test_pinned_condition_matches_committed_digest(backend, monkeypatch):
+    # Both scheduler backends must reproduce the same pinned digest:
+    # the timing wheel is only admissible because this holds.
+    monkeypatch.setenv("REPRO_SCHEDULER", backend)
     result = _run()
     # Guard against vacuous passes: the run must actually produce data.
     assert result.times.size > 0
@@ -71,3 +76,17 @@ def test_pinned_condition_matches_committed_digest():
 def test_digest_is_reproducible_within_process():
     # Two fresh testbeds in one process: no hidden global state.
     assert _digest(_run()) == _digest(_run())
+
+
+def test_seed_batched_run_matches_per_run_digest():
+    # The in-process multi-seed path must be byte-identical to
+    # dispatching each seed separately.
+    config = RunConfig(timeline=Timeline(scale=_SCALE), **_CONFIG)
+    batched = run_single(config, seeds=[0, 1])
+    singles = [
+        run_single(RunConfig(timeline=Timeline(scale=_SCALE),
+                             **{**_CONFIG, "seed": seed}))
+        for seed in (0, 1)
+    ]
+    assert [_digest(r) for r in batched] == [_digest(r) for r in singles]
+    assert _digest(batched[0]) == GOLDEN_DIGEST

@@ -1,0 +1,70 @@
+"""Backend A/B parity on the paper scenarios (the PR acceptance gate).
+
+The timing wheel replaces the binary heap as the default scheduler only
+because it is *provably invisible*: for the three benchmark scenarios
+named in the acceptance criteria (solo-stream, cubic-contention,
+bbr-contention — here at smoke scale) both backends must produce
+
+- SHA-256-identical result arrays,
+- an identical complete trace stream (which pins the event dispatch
+  order, the tie-break sequence allocation, and ``run.end``'s
+  ``events_processed``),
+
+not merely statistically similar output.  This is the same byte-exact
+protocol that gated the delay-line coalescing work (see
+docs/PERFORMANCE.md, "measurement protocol").
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import RunConfig, SMOKE
+from repro.experiments.runner import run_single
+from repro.obs.trace import MemorySink, Tracer
+
+_SCENARIOS = {
+    "solo-stream": None,
+    "cubic-contention": "cubic",
+    "bbr-contention": "bbr",
+}
+
+_ARRAYS = ("times", "game_bps", "iperf_bps", "rtt_samples")
+
+
+def _measure(backend: str, cca: str | None, monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", backend)
+    sink = MemorySink()
+    config = RunConfig("stadia", 25e6, 2.0, cca=cca, seed=0, timeline=SMOKE)
+    result = run_single(config, tracer=Tracer(sink))
+
+    digest = hashlib.sha256()
+    for name in _ARRAYS:
+        arr = np.ascontiguousarray(
+            np.asarray(getattr(result, name), dtype=np.float64)
+        )
+        digest.update(name.encode())
+        digest.update(repr(arr.shape).encode())
+        digest.update(arr.tobytes())
+    trace = hashlib.sha256()
+    for record in sink.records:
+        trace.update(json.dumps(record, sort_keys=True, default=str).encode())
+
+    (run_end,) = [r for r in sink.records if r["ev"] == "run.end"]
+    return {
+        "result_sha256": digest.hexdigest(),
+        "trace_sha256": trace.hexdigest(),
+        "trace_records": len(sink.records),
+        "events_processed": run_end["events"],
+    }
+
+
+@pytest.mark.parametrize("scenario", sorted(_SCENARIOS))
+def test_wheel_and_heap_are_byte_identical(scenario, monkeypatch):
+    heap = _measure("heap", _SCENARIOS[scenario], monkeypatch)
+    wheel = _measure("wheel", _SCENARIOS[scenario], monkeypatch)
+    assert heap["events_processed"] > 0
+    assert heap["trace_records"] > 0
+    assert wheel == heap
